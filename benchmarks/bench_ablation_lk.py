@@ -1,0 +1,47 @@
+"""EA1 — ablation: LK-style search vs its own components.
+
+DESIGN.md calls out the chained-LK design (construction + descent + kicks).
+This bench isolates each layer on the same instance: construction alone,
+2-opt descent, full descent, kicked descent — quality must be monotone
+non-increasing in span, time monotone increasing.
+"""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.labeling.spec import L21
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.tsp.construction import greedy_edge_path
+from repro.tsp.lin_kernighan import lk_style_path
+from repro.tsp.local_search import or_opt_path, two_opt_path
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = gen.random_graph_with_diameter_at_most(90, 2, seed=4)
+    return reduce_to_path_tsp(g, L21).instance
+
+
+def test_quality_ladder_monotone(instance):
+    construct = greedy_edge_path(instance)
+    descent2 = two_opt_path(instance, construct)
+    descent = or_opt_path(instance, descent2)
+    kicked = lk_style_path(instance, kicks=15, seed=0)
+    assert descent2.length <= construct.length + 1e-9
+    assert descent.length <= descent2.length + 1e-9
+    assert kicked.length <= descent.length + 1e-9
+
+
+def test_bench_construct_only(benchmark, instance):
+    benchmark(lambda: greedy_edge_path(instance))
+
+
+def test_bench_descent(benchmark, instance):
+    start = greedy_edge_path(instance)
+    benchmark(lambda: or_opt_path(instance, two_opt_path(instance, start)))
+
+
+@pytest.mark.parametrize("kicks", [0, 5, 20])
+def test_bench_kicks(benchmark, instance, kicks):
+    path = benchmark(lambda: lk_style_path(instance, kicks=kicks, seed=0))
+    assert len(path.order) == instance.n

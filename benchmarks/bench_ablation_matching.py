@@ -1,0 +1,50 @@
+"""EA2 — ablation: exact vs heuristic matching inside Hoogeveen.
+
+The 1.5 guarantee needs the *exact* near-perfect matching; the heuristic
+(greedy + 2-exchange) is what larger odd sets would use.  This bench
+measures the cost of exactness and the quality difference — expected shape:
+heuristic within a few percent, exact meaningfully slower on larger odd
+sets but still polynomial-feeling at this scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tsp.instance import TSPInstance
+from repro.tsp.matching import (
+    matching_weight,
+    min_weight_perfect_matching,
+)
+
+
+@pytest.fixture(scope="module")
+def weights():
+    return TSPInstance.random_metric(18, seed=0).weights
+
+
+def test_heuristic_quality_close(weights):
+    verts = list(range(16))
+    exact = matching_weight(
+        weights, min_weight_perfect_matching(weights, verts)
+    )
+    heur = matching_weight(
+        weights, min_weight_perfect_matching(weights, verts, max_exact=0)
+    )
+    assert exact <= heur + 1e-12
+    assert heur <= 1.25 * exact  # 2-exchange on Euclidean data stays close
+
+
+@pytest.mark.parametrize("size", [8, 12, 16])
+def test_bench_exact_matching(benchmark, weights, size):
+    verts = list(range(size))
+    edges = benchmark(lambda: min_weight_perfect_matching(weights, verts))
+    assert len(edges) == size // 2
+
+
+@pytest.mark.parametrize("size", [8, 12, 16])
+def test_bench_heuristic_matching(benchmark, weights, size):
+    verts = list(range(size))
+    edges = benchmark(
+        lambda: min_weight_perfect_matching(weights, verts, max_exact=0)
+    )
+    assert len(edges) == size // 2

@@ -1,0 +1,25 @@
+"""E10 — extension: parallel engine portfolio vs sequential."""
+
+from repro.graphs import generators as gen
+from repro.harness.experiments import e10_parallel_portfolio
+from repro.labeling.spec import L21
+from repro.parallel.portfolio import portfolio_solve, sequential_portfolio
+
+ENGINES = ["lk", "three_opt", "or_opt", "two_opt"]
+
+
+def test_experiment_passes():
+    result = e10_parallel_portfolio(n=80, engines_used=3)
+    assert result.passed, result.render()
+
+
+def test_bench_sequential_portfolio(benchmark):
+    g = gen.random_graph_with_diameter_at_most(80, 2, seed=0)
+    r = benchmark(lambda: sequential_portfolio(g, L21, ENGINES))
+    assert r.labeling.is_feasible(g, L21)
+
+
+def test_bench_parallel_portfolio(benchmark):
+    g = gen.random_graph_with_diameter_at_most(80, 2, seed=0)
+    r = benchmark(lambda: portfolio_solve(g, L21, ENGINES))
+    assert r.labeling.is_feasible(g, L21)

@@ -1,0 +1,22 @@
+"""E1 — Figure 1: the reduction construction on the paper's 5-vertex example.
+
+Benchmarks the full reduce+solve+reconstruct pipeline at figure scale and
+re-asserts the experiment's checks.
+"""
+
+from repro.graphs.generators import paper_figure1_graph
+from repro.harness.experiments import e1_figure1_reduction
+from repro.labeling.spec import LpSpec
+from repro.reduction.solver import solve_labeling
+
+
+def test_experiment_passes():
+    result = e1_figure1_reduction()
+    assert result.passed, result.render()
+
+
+def test_bench_figure1_pipeline(benchmark):
+    g = paper_figure1_graph()
+    spec = LpSpec((2, 2, 1))
+    out = benchmark(lambda: solve_labeling(g, spec, engine="held_karp"))
+    assert out.span == 6

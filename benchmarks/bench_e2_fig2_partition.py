@@ -1,0 +1,18 @@
+"""E2 — Figure 2: permutation runs vs PARTITION INTO PATHS on diameter 2."""
+
+from repro.graphs.generators import paper_figure2_graph
+from repro.harness.experiments import e2_figure2_partition
+from repro.labeling.spec import LpSpec
+from repro.partition.diameter2 import solve_lpq_diameter2
+
+
+def test_experiment_passes():
+    result = e2_figure2_partition()
+    assert result.passed, result.render()
+
+
+def test_bench_partition_route(benchmark):
+    g = paper_figure2_graph()
+    spec = LpSpec((1, 2))
+    out = benchmark(lambda: solve_lpq_diameter2(g, spec, method="exact"))
+    assert out.exact

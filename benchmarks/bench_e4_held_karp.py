@@ -1,0 +1,33 @@
+"""E4 — Corollary 1a: Held-Karp exact solve, O(2^n n^2) growth.
+
+The timed series over n = 10/12/14 should roughly quadruple per step
+(factor 2 per vertex) — that is the reproduced 'figure'.
+"""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.harness.experiments import e4_held_karp_growth
+from repro.labeling.spec import L21
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.tsp.held_karp import held_karp_path
+
+
+def test_experiment_passes():
+    result = e4_held_karp_growth(sizes=(10, 12, 14), seeds=2)
+    assert result.passed, result.render()
+
+
+@pytest.mark.parametrize("n", [10, 12, 14])
+def test_bench_held_karp(benchmark, n):
+    red = reduce_to_path_tsp(
+        gen.random_graph_with_diameter_at_most(n, 2, seed=0), L21
+    )
+    path = benchmark(lambda: held_karp_path(red.instance))
+    assert len(path.order) == n
+
+
+def test_bench_branch_bound_n12(benchmark, reduced_n12):
+    from repro.tsp.branch_bound import branch_and_bound_path
+    path = benchmark(lambda: branch_and_bound_path(reduced_n12.instance))
+    assert len(path.order) == 12

@@ -1,0 +1,39 @@
+"""E5 — Corollary 1b: guaranteed approximations vs exact.
+
+Times each guaranteed engine on the same reduced instance; the experiment
+check re-verifies ratio <= 1.5 (Hoogeveen) / <= 2 (double-tree) and the
+ordering Hoogeveen < double-tree on average.
+"""
+
+import pytest
+
+from repro.harness.experiments import e5_approximation_ratio
+from repro.tsp.christofides import christofides_cycle
+from repro.tsp.double_tree import double_tree_path
+from repro.tsp.hoogeveen import hoogeveen_path
+
+
+def test_experiment_passes():
+    result = e5_approximation_ratio(n=12, trials=12)
+    assert result.passed, result.render()
+
+
+def test_bench_hoogeveen(benchmark, reduced_n14):
+    path = benchmark(lambda: hoogeveen_path(reduced_n14.instance))
+    assert len(path.order) == 14
+
+
+def test_bench_christofides(benchmark, reduced_n14):
+    tour = benchmark(lambda: christofides_cycle(reduced_n14.instance))
+    assert len(tour.order) == 14
+
+
+def test_bench_double_tree(benchmark, reduced_n14):
+    path = benchmark(lambda: double_tree_path(reduced_n14.instance))
+    assert len(path.order) == 14
+
+
+def test_bench_hoogeveen_n100(benchmark, reduced_n100):
+    """The polynomial guarantee at a size Held-Karp cannot touch."""
+    path = benchmark(lambda: hoogeveen_path(reduced_n100.instance))
+    assert len(path.order) == 100

@@ -1,0 +1,41 @@
+"""E6 — Corollary 2: the PARTITION INTO PATHS route on diameter-2 graphs."""
+
+from repro.graphs import generators as gen
+from repro.harness.experiments import e6_partition_paths
+from repro.labeling.spec import L21
+from repro.partition.diameter2 import solve_lpq_diameter2
+from repro.partition.paths_partition import (
+    partition_into_paths_exact,
+    partition_into_paths_greedy,
+)
+
+
+def test_experiment_passes():
+    result = e6_partition_paths(n=11, trials=6)
+    assert result.passed, result.render()
+
+
+def test_bench_pip_exact(benchmark, diam2_n14):
+    from repro.graphs.operations import complement
+    target = complement(diam2_n14)
+    s, paths = benchmark(lambda: partition_into_paths_exact(target))
+    assert len(paths) == s
+
+
+def test_bench_pip_greedy_n100(benchmark, diam2_n100):
+    from repro.graphs.operations import complement
+    target = complement(diam2_n100)
+    s, paths = benchmark(lambda: partition_into_paths_greedy(target, seed=0))
+    assert len(paths) == s
+
+
+def test_bench_corollary2_pipeline(benchmark, diam2_n14):
+    out = benchmark(lambda: solve_lpq_diameter2(diam2_n14, L21, method="exact"))
+    assert out.exact
+
+
+def test_bench_structured_instance(benchmark):
+    """K_{4,4,4}: complement = 3 cliques, the partition structure is forced."""
+    g = gen.complete_multipartite_graph([4, 4, 4])
+    out = benchmark(lambda: solve_lpq_diameter2(g, L21, method="exact"))
+    assert out.path_count == 3

@@ -1,0 +1,47 @@
+"""E7 — practical engines: the quality/time ladder (the LKH/Concorde claim).
+
+One timed benchmark per engine tier on the same instance; the experiment
+check re-verifies the quality ordering.
+"""
+
+import pytest
+
+from repro.harness.experiments import e7_heuristic_engines
+from repro.tsp.construction import greedy_edge_path, nearest_neighbor_path
+from repro.tsp.lin_kernighan import lk_style_path
+from repro.tsp.local_search import or_opt_path, three_opt_path, two_opt_path
+
+
+def test_experiment_passes():
+    result = e7_heuristic_engines(n=12, trials=5)
+    assert result.passed, result.render()
+
+
+def test_bench_nearest_neighbor(benchmark, reduced_n100):
+    benchmark(lambda: nearest_neighbor_path(reduced_n100.instance, 0))
+
+
+def test_bench_greedy_edge(benchmark, reduced_n100):
+    benchmark(lambda: greedy_edge_path(reduced_n100.instance))
+
+
+def test_bench_two_opt(benchmark, reduced_n100):
+    inst = reduced_n100.instance
+    start = nearest_neighbor_path(inst, 0)
+    benchmark(lambda: two_opt_path(inst, start))
+
+
+def test_bench_or_opt(benchmark, reduced_n100):
+    inst = reduced_n100.instance
+    start = nearest_neighbor_path(inst, 0)
+    benchmark(lambda: or_opt_path(inst, start))
+
+
+def test_bench_three_opt(benchmark, reduced_n100):
+    inst = reduced_n100.instance
+    start = nearest_neighbor_path(inst, 0)
+    benchmark(lambda: three_opt_path(inst, start))
+
+
+def test_bench_lk_style(benchmark, reduced_n100):
+    benchmark(lambda: lk_style_path(reduced_n100.instance, kicks=5, seed=0))

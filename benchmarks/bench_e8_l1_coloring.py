@@ -1,0 +1,44 @@
+"""E8 — Theorem 4 / Corollary 3: L(1)-labeling via coloring of powers."""
+
+from repro.graphs import generators as gen
+from repro.graphs.operations import graph_power
+from repro.harness.experiments import e8_l1_coloring
+from repro.labeling.spec import L21
+from repro.partition.coloring import (
+    chromatic_number_exact,
+    chromatic_number_via_twin_quotient,
+)
+from repro.partition.l1_labeling import l1_labeling_exact, pmax_approx_labeling
+from repro.partition.modular import modular_width
+
+
+def test_experiment_passes():
+    result = e8_l1_coloring(trials=6)
+    assert result.passed, result.render()
+
+
+def test_bench_l1_exact(benchmark):
+    g = gen.random_connected_gnp(12, 0.3, seed=0)
+    lab = benchmark(lambda: l1_labeling_exact(g, 2))
+    assert lab.n == 12
+
+
+def test_bench_pmax_approx(benchmark):
+    g = gen.random_connected_gnp(12, 0.3, seed=0)
+    lab = benchmark(lambda: pmax_approx_labeling(g, L21))
+    assert lab.is_feasible(g, L21)
+
+
+def test_bench_twin_quotient_vs_direct(benchmark):
+    """The FPT effect: quotient coloring on a twin-heavy power graph."""
+    g = gen.complete_multipartite_graph([5, 5, 5, 5])  # nd = 4
+    power = graph_power(g, 1)
+    chi_direct, _ = chromatic_number_exact(power)
+    chi_quot, _ = benchmark(lambda: chromatic_number_via_twin_quotient(power))
+    assert chi_quot == chi_direct
+
+
+def test_bench_modular_width(benchmark):
+    g = gen.random_connected_gnp(14, 0.4, seed=1)
+    mw = benchmark(lambda: modular_width(g))
+    assert mw >= 2

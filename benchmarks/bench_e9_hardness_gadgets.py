@@ -1,0 +1,30 @@
+"""E9 — Theorems 1 & 3: hardness gadget constructions and equivalences."""
+
+from repro.graphs import generators as gen
+from repro.hamiltonicity import (
+    griggs_yeh_gadget,
+    has_hamiltonian_path,
+    hc_to_hp_gadget,
+)
+from repro.harness.experiments import e9_hardness_gadgets
+
+
+def test_experiment_passes():
+    result = e9_hardness_gadgets(n=4)
+    assert result.passed, result.render()
+
+
+def test_bench_hc_gadget_decision(benchmark):
+    g = gen.random_connected_gnp(12, 0.4, seed=0)
+    gadget = hc_to_hp_gadget(g).graph
+
+    def decide():
+        return has_hamiltonian_path(gadget)
+
+    benchmark(decide)
+
+
+def test_bench_griggs_yeh_construction(benchmark):
+    g = gen.random_connected_gnp(40, 0.2, seed=0)
+    out = benchmark(lambda: griggs_yeh_gadget(g))
+    assert out.graph.n == 41

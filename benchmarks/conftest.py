@@ -1,0 +1,45 @@
+"""Benchmark configuration: shared fixtures and the experiment-report hook.
+
+Each ``bench_eN_*.py`` module regenerates one experiment from DESIGN.md §4.
+pytest-benchmark measures the kernels; the ``test_experiment_passes``
+function in each module re-runs the *claims* (the shape checks) so a bench
+run is also a correctness gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.labeling.spec import L21
+from repro.reduction.to_tsp import reduce_to_path_tsp
+
+
+@pytest.fixture(scope="session")
+def diam2_n12():
+    return gen.random_graph_with_diameter_at_most(12, 2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def diam2_n14():
+    return gen.random_graph_with_diameter_at_most(14, 2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def diam2_n100():
+    return gen.random_graph_with_diameter_at_most(100, 2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def reduced_n12(diam2_n12):
+    return reduce_to_path_tsp(diam2_n12, L21)
+
+
+@pytest.fixture(scope="session")
+def reduced_n14(diam2_n14):
+    return reduce_to_path_tsp(diam2_n14, L21)
+
+
+@pytest.fixture(scope="session")
+def reduced_n100(diam2_n100):
+    return reduce_to_path_tsp(diam2_n100, L21)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Engine showdown: the quality/time frontier the paper's practical side
+promises ("use LKH/Concorde-class heuristics as engines").
+
+Sweeps every registered TSP engine over a batch of diameter-2 workloads and
+prints a table of mean span ratio (vs the best engine) and wall time —
+the ladder NN -> 2-opt -> Or-opt -> LK should be visible, with the exact
+engine pinned at ratio 1.0 and the guaranteed approximations in between.
+
+Run:  python examples/engine_showdown.py [n] [trials]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import L21
+from repro.harness.runner import run_engines
+from repro.harness.tables import render_table
+from repro.harness.workloads import make_workload
+
+ENGINE_CHOICES = [
+    "held_karp",        # exact (Corollary 1a)
+    "branch_bound",     # exact, independent algorithm
+    "hoogeveen",        # 1.5-approx (Corollary 1b)
+    "christofides_path",
+    "double_tree",      # 2-approx baseline
+    "lk",               # LK-style iterated local search (the 'LKH analogue')
+    "three_opt",
+    "or_opt",
+    "two_opt",
+    "greedy_edge",
+    "farthest_insertion",
+    "nearest_neighbor",
+]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    workloads = [make_workload("diam2", n, seed=t) for t in range(trials)]
+    print(f"sweeping {len(ENGINE_CHOICES)} engines over {trials} "
+          f"diameter-2 workloads, n={n}, spec={L21} ...")
+    runs = run_engines(workloads, L21, ENGINE_CHOICES)
+
+    rows = []
+    for engine in ENGINE_CHOICES:
+        rs = [r for r in runs if r.engine == engine]
+        rows.append([
+            engine,
+            float(np.mean([r.ratio for r in rs])),
+            float(np.max([r.ratio for r in rs])),
+            f"{np.mean([r.seconds for r in rs]) * 1e3:.1f} ms",
+            "exact" if rs[0].exact else "",
+        ])
+    rows.sort(key=lambda r: r[1])
+    print()
+    print(render_table(
+        ["engine", "mean ratio", "max ratio", "mean time", ""], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Generality of the framework: one solver, many constraint vectors p.
+
+The paper's point is that prior algorithms are tailored to one p and do not
+transfer; the TSP route handles *any* p with p_max <= 2 p_min on graphs of
+diameter <= dim(p), unchanged.  This script sweeps a family of specs over a
+diameter-3 graph and prints spans, optimal orders, and which distances bind.
+
+Run:  python examples/multi_p_sweep.py
+"""
+
+from repro import LpSpec, solve_labeling
+from repro.graphs.generators import random_graph_with_diameter_at_most
+from repro.graphs.traversal import diameter
+from repro.reduction.validation import analyze
+
+SPECS = [
+    LpSpec((2, 1)),        # the classic, k = 2
+    LpSpec((1, 1)),        # coloring of the square
+    LpSpec((2, 2)),        # uniform, k = 2
+    LpSpec((2, 1, 1)),     # k = 3
+    LpSpec((2, 2, 1)),     # k = 3
+    LpSpec((2, 2, 2)),     # uniform, k = 3
+    LpSpec((3, 2, 2)),     # non-unit p_min
+    LpSpec((4, 3, 2)),     # widest legal spread at p_min = 2
+]
+
+
+def main() -> None:
+    g = random_graph_with_diameter_at_most(11, 3, seed=11)
+    # make sure we actually exercise k = 3 specs
+    d = diameter(g)
+    print(f"graph: n={g.n}, m={g.m}, diameter={d}\n")
+    print(f"{'spec':14s} {'applicable':>10s} {'span':>6s}  note")
+    for spec in SPECS:
+        report = analyze(g, spec)
+        if not report.applicable:
+            print(f"{str(spec):14s} {'no':>10s} {'-':>6s}  {report.reason()}")
+            continue
+        res = solve_labeling(g, spec, engine="held_karp")
+        print(f"{str(spec):14s} {'yes':>10s} {res.span:6d}  "
+              f"order {res.order[:6]}...")
+    print("\nEvery applicable spec ran through the *same* code path: "
+          "reduce -> Held-Karp -> prefix sums.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Parallel engine portfolio on a larger instance.
+
+Heuristic TSP engines have complementary strengths; running several in
+separate processes and keeping the best labeling is a cheap way to buy
+quality with cores instead of wall time.  This is the E10 extension
+experiment as a runnable script.
+
+Run:  python examples/parallel_portfolio.py [n] [seed]
+"""
+
+import sys
+import time
+
+from repro import L21
+from repro.graphs.generators import random_graph_with_diameter_at_most
+from repro.parallel.portfolio import portfolio_solve, sequential_portfolio
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    graph = random_graph_with_diameter_at_most(n, 2, seed=seed)
+    engines = ["lk", "three_opt", "or_opt", "two_opt"]
+    print(f"instance: n={graph.n}, m={graph.m}; engines: {engines}")
+
+    t0 = time.perf_counter()
+    seq = sequential_portfolio(graph, L21, engines)
+    t_seq = time.perf_counter() - t0
+    print(f"sequential portfolio: span={seq.span}  "
+          f"(winner: {seq.engine})  in {t_seq:.2f}s")
+
+    t0 = time.perf_counter()
+    par = portfolio_solve(graph, L21, engines)
+    t_par = time.perf_counter() - t0
+    print(f"parallel portfolio  : span={par.span}  "
+          f"(winner: {par.engine})  in {t_par:.2f}s")
+
+    if t_par > 0:
+        print(f"speed-up: {t_seq / t_par:.2f}x "
+              f"({'wins' if t_par < t_seq else 'overhead-bound at this size'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — L(p)-labeling of small-diameter graphs via Metric Path TSP.
+
+Reproduction of Hanaka, Ono & Sugiyama, *Solving Distance-constrained
+Labeling Problems for Small Diameter Graphs via TSP* (IPDPS-W 2023,
+arXiv:2303.01290).
+
+Quickstart
+----------
+>>> from repro import Graph, L21, solve_labeling
+>>> g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])  # C5, diam 2
+>>> result = solve_labeling(g, L21)
+>>> result.span
+4
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction results.
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    DisconnectedGraphError,
+    ReductionNotApplicableError,
+    InfeasibleInstanceError,
+    SolverError,
+    NotMetricError,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import diameter, all_pairs_distances
+from repro.labeling.spec import LpSpec, L21, L11, all_ones
+from repro.labeling.labeling import Labeling
+from repro.reduction.solver import LpTspSolver, SolveResult, solve_labeling
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.session import LabelingSession
+from repro.tsp.instance import TSPInstance
+from repro.tsp.portfolio import ENGINES, solve_path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "diameter",
+    "all_pairs_distances",
+    "LpSpec",
+    "L21",
+    "L11",
+    "all_ones",
+    "Labeling",
+    "LpTspSolver",
+    "SolveResult",
+    "solve_labeling",
+    "LabelingSession",
+    "reduce_to_path_tsp",
+    "TSPInstance",
+    "ENGINES",
+    "solve_path",
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "ReductionNotApplicableError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "NotMetricError",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Command-line front end: ``repro-label`` / ``python -m repro``.
+
+Subcommands
+-----------
+``solve``      solve L(p)-labeling for a graph file (edge-list or DIMACS)
+``reduce``     print the reduced metric path-TSP weight matrix
+``experiment`` run experiments from the E1–E10 reproduction suite
+``generate``   emit a workload graph as an edge list (for piping)
+``engines``    list available TSP engines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graphs import io as gio
+from repro.harness.experiments import ALL_EXPERIMENTS, main as run_experiments
+from repro.harness.workloads import WORKLOADS, make_workload
+from repro.labeling.spec import LpSpec
+from repro.reduction.solver import solve_labeling
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.tsp.portfolio import ENGINES
+
+
+def _parse_spec(text: str) -> LpSpec:
+    """Parse ``2,1`` or ``(2,1)`` or ``2 1`` into an LpSpec."""
+    cleaned = text.strip().strip("()").replace(",", " ")
+    return LpSpec(tuple(int(t) for t in cleaned.split()))
+
+
+def _load_graph(path: str):
+    if path == "-":
+        return gio.read_edge_list(sys.stdin)
+    if path.endswith(".col") or path.endswith(".dimacs"):
+        return gio.read_dimacs(path)
+    return gio.read_edge_list(path)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    spec = _parse_spec(args.p)
+    result = solve_labeling(graph, spec, engine=args.engine)
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(f"spec: {spec}   engine: {result.engine}   exact: {result.exact}")
+    print(f"span: {result.span}")
+    if args.labels:
+        for v, lab in enumerate(result.labeling.labels):
+            print(f"  {v}: {lab}")
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    spec = _parse_spec(args.p)
+    red = reduce_to_path_tsp(graph, spec)
+    w = red.instance.weights.astype(int)
+    for row in w:
+        print(" ".join(str(int(x)) for x in row))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = args.ids or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(ALL_EXPERIMENTS)}")
+        return 2
+    results = run_experiments(names)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    wl = make_workload(args.family, args.n, args.seed)
+    gio.write_edge_list(wl.graph, sys.stdout)
+    return 0
+
+
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    for name in ENGINES:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the repro-label CLI."""
+    ap = argparse.ArgumentParser(
+        prog="repro-label",
+        description="L(p)-labeling of small-diameter graphs via Metric Path TSP",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("solve", help="solve L(p)-labeling for a graph file")
+    s.add_argument("graph", help="edge-list file, .col/.dimacs file, or - for stdin")
+    s.add_argument("-p", default="2,1", help="constraint vector, e.g. '2,1' (default)")
+    s.add_argument("--engine", default="auto", choices=["auto", *ENGINES])
+    s.add_argument("--labels", action="store_true", help="print per-vertex labels")
+    s.set_defaults(fn=_cmd_solve)
+
+    r = sub.add_parser("reduce", help="print the reduced TSP weight matrix")
+    r.add_argument("graph")
+    r.add_argument("-p", default="2,1")
+    r.set_defaults(fn=_cmd_reduce)
+
+    e = sub.add_parser("experiment", help="run reproduction experiments")
+    e.add_argument("ids", nargs="*", help="e.g. E1 E5 (default: all)")
+    e.set_defaults(fn=_cmd_experiment)
+
+    g = sub.add_parser("generate", help="emit a workload graph as an edge list")
+    g.add_argument("family", choices=list(WORKLOADS))
+    g.add_argument("n", type=int)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=_cmd_generate)
+
+    le = sub.add_parser("engines", help="list available TSP engines")
+    le.set_defaults(fn=_cmd_engines)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad vertex, malformed edge, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires connectivity received a disconnected graph."""
+
+
+class ReductionNotApplicableError(ReproError):
+    """The Theorem-2 reduction preconditions do not hold.
+
+    Raised when ``diam(G) > len(p)`` or ``p_max > 2 * p_min`` (or p is
+    malformed).  The message always explains which precondition failed.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """A solver was handed an instance with no feasible solution."""
+
+
+class SolverError(ReproError):
+    """An engine failed to produce a valid solution."""
+
+
+class NotMetricError(ReproError):
+    """A TSP instance violated the triangle inequality where one was required."""

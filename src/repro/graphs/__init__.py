@@ -1,0 +1,49 @@
+"""Graph substrate: data structure, traversal, generators, operations, IO.
+
+Everything in this subpackage is written from scratch on top of the standard
+library and NumPy; ``networkx`` is used only in the test-suite as an oracle.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    all_pairs_distances,
+    connected_components,
+    is_connected,
+    eccentricity,
+    diameter,
+    radius,
+)
+from repro.graphs.operations import (
+    complement,
+    graph_power,
+    disjoint_union,
+    join,
+    induced_subgraph,
+    add_universal_vertex,
+    add_false_twin,
+    relabel,
+)
+from repro.graphs import generators
+from repro.graphs import io
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "all_pairs_distances",
+    "connected_components",
+    "is_connected",
+    "eccentricity",
+    "diameter",
+    "radius",
+    "complement",
+    "graph_power",
+    "disjoint_union",
+    "join",
+    "induced_subgraph",
+    "add_universal_vertex",
+    "add_false_twin",
+    "relabel",
+    "generators",
+    "io",
+]

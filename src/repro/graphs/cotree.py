@@ -1,0 +1,139 @@
+"""Cotrees and cographs.
+
+Cographs (graphs of clique-width at most 2, built from single vertices by
+disjoint union and join) show up in the paper as a tractable class for
+``L(2,1)``-labeling and as the base case of modular decomposition.  We model
+them with explicit cotrees so that workloads can generate cographs with known
+structure and tests can verify modular-width behaviour (a non-trivial cograph
+has modular-width 2 by convention ``mw <= 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import disjoint_union, join
+
+
+@dataclass(frozen=True)
+class Cotree:
+    """A cotree node: a leaf, or a union/join over children.
+
+    ``kind`` is ``"leaf"``, ``"union"`` or ``"join"``.  Leaves carry no
+    children; internal nodes need at least two.
+    """
+
+    kind: Literal["leaf", "union", "join"]
+    children: tuple["Cotree", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind == "leaf":
+            if self.children:
+                raise GraphError("cotree leaf cannot have children")
+        else:
+            if len(self.children) < 2:
+                raise GraphError(f"cotree {self.kind} node needs >= 2 children")
+
+    @property
+    def n_leaves(self) -> int:
+        if self.kind == "leaf":
+            return 1
+        return sum(c.n_leaves for c in self.children)
+
+    def to_graph(self) -> Graph:
+        """Evaluate the cotree into the cograph it denotes."""
+        if self.kind == "leaf":
+            return Graph(1)
+        graphs = [c.to_graph() for c in self.children]
+        acc = graphs[0]
+        for g in graphs[1:]:
+            acc = disjoint_union(acc, g) if self.kind == "union" else join(acc, g)
+        return acc
+
+
+def leaf() -> Cotree:
+    """A single-vertex cotree leaf."""
+    return Cotree("leaf")
+
+
+def union_node(*children: Cotree) -> Cotree:
+    """A disjoint-union cotree node over the given children."""
+    return Cotree("union", tuple(children))
+
+
+def join_node(*children: Cotree) -> Cotree:
+    """A join cotree node over the given children."""
+    return Cotree("join", tuple(children))
+
+
+def random_cotree(
+    n_leaves: int, seed: int | np.random.Generator | None = None, join_bias: float = 0.6
+) -> Cotree:
+    """A random cotree with ``n_leaves`` leaves.
+
+    ``join_bias`` is the probability an internal node is a join; biasing
+    toward joins keeps the resulting cographs connected and small-diameter,
+    which is the regime the paper's reduction targets.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if n_leaves < 1:
+        raise GraphError("cotree needs at least one leaf")
+    if n_leaves == 1:
+        return leaf()
+    # split leaves into 2..min(4, n) groups and recurse
+    n_groups = int(rng.integers(2, min(4, n_leaves) + 1))
+    cuts = np.sort(rng.choice(np.arange(1, n_leaves), size=n_groups - 1, replace=False))
+    sizes = np.diff(np.concatenate([[0], cuts, [n_leaves]]))
+    children = tuple(random_cotree(int(s), rng, join_bias) for s in sizes)
+    kind = "join" if rng.random() < join_bias else "union"
+    return Cotree(kind, children)
+
+
+def random_cograph(
+    n: int, seed: int | np.random.Generator | None = None, join_bias: float = 0.6
+) -> Graph:
+    """A random ``n``-vertex cograph (evaluated random cotree)."""
+    return random_cotree(n, seed, join_bias).to_graph()
+
+
+def random_connected_cograph(
+    n: int, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """A random connected cograph: force the root to be a join node."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if n == 1:
+        return Graph(1)
+    split = int(rng.integers(1, n))
+    left = random_cotree(split, rng)
+    right = random_cotree(n - split, rng)
+    return join_node(left, right).to_graph()
+
+
+def is_cograph(graph: Graph) -> bool:
+    """Cograph recognition: no induced ``P_4``.
+
+    Uses the characterization that ``G`` is a cograph iff every induced
+    subgraph on >= 2 vertices is disconnected or has disconnected complement
+    (checked recursively by splitting on components / co-components).  Runs in
+    polynomial time; fine for test-scale graphs.
+    """
+    from repro.graphs.operations import complement, induced_subgraph
+    from repro.graphs.traversal import connected_components
+
+    def rec(g: Graph) -> bool:
+        if g.n <= 2:
+            return True
+        comps = connected_components(g)
+        if len(comps) > 1:
+            return all(rec(induced_subgraph(g, c)) for c in comps)
+        co_comps = connected_components(complement(g))
+        if len(co_comps) > 1:
+            return all(rec(induced_subgraph(g, c)) for c in co_comps)
+        return False  # connected with connected complement => contains a P4
+
+    return rec(graph)

@@ -1,0 +1,136 @@
+"""Structured graph families for richer small-diameter workloads.
+
+Several classical families are *guaranteed* diameter-2 — exactly the regime
+of Corollary 2 — with tunable structure:
+
+* **Paley graphs** — self-complementary, strongly regular, diameter 2;
+* **Turán graphs** — complete multipartite with balanced parts, diameter 2;
+* **circulant graphs** — vertex-transitive with adjustable connection sets;
+* **Kneser graphs** — e.g. Petersen = K(5, 2);
+* **barbell / lollipop** — classic "hard for greedy" shapes (larger
+  diameter; used as negative controls for the applicability checks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def circulant_graph(n: int, connections: Sequence[int]) -> Graph:
+    """Circulant ``C_n(S)``: ``i ~ j`` iff ``(i - j) mod n ∈ ±S``.
+
+    >>> circulant_graph(5, [1]).m   # the 5-cycle
+    5
+    """
+    if n < 1:
+        raise GraphError(f"circulant needs n >= 1, got {n}")
+    conns = sorted({c % n for c in connections if c % n != 0})
+    if not conns and connections:
+        raise GraphError("all connections reduce to 0 mod n")
+    g = Graph(n)
+    for v in range(n):
+        for c in conns:
+            u = (v + c) % n
+            if u != v and not g.has_edge(v, u):
+                g.add_edge(v, u)
+    return g
+
+
+def paley_graph(q: int) -> Graph:
+    """Paley graph on ``q`` vertices (``q`` prime, ``q ≡ 1 mod 4``).
+
+    Vertices are ``Z_q``; ``i ~ j`` iff ``i - j`` is a non-zero quadratic
+    residue.  Self-complementary and strongly regular; diameter 2 for
+    ``q >= 5``.
+    """
+    if q < 5:
+        raise GraphError(f"paley graph needs q >= 5, got {q}")
+    if q % 4 != 1:
+        raise GraphError(f"paley graph needs q ≡ 1 (mod 4), got {q}")
+    if not _is_prime(q):
+        raise GraphError(f"paley graph implemented for prime q only, got {q}")
+    residues = {(x * x) % q for x in range(1, q)}
+    g = Graph(q)
+    for i in range(q):
+        for j in range(i + 1, q):
+            if (i - j) % q in residues:
+                g.add_edge(i, j)
+    return g
+
+
+def turan_graph(n: int, r: int) -> Graph:
+    """Turán graph ``T(n, r)``: complete multipartite, parts as equal as possible."""
+    if r < 1 or r > n:
+        raise GraphError(f"turan needs 1 <= r <= n, got r={r}, n={n}")
+    base, extra = divmod(n, r)
+    sizes = [base + 1] * extra + [base] * (r - extra)
+    from repro.graphs.generators import complete_multipartite_graph
+    return complete_multipartite_graph(sizes)
+
+
+def kneser_graph(n: int, k: int) -> Graph:
+    """Kneser graph ``K(n, k)``: k-subsets of [n], adjacent iff disjoint.
+
+    >>> from repro.graphs.generators import petersen_graph
+    >>> kneser_graph(5, 2) == petersen_graph()   # up to labelling
+    False
+    >>> kneser_graph(5, 2).m
+    15
+    """
+    if k < 1 or 2 * k > n:
+        raise GraphError(f"kneser needs 1 <= k <= n/2, got n={n}, k={k}")
+    subsets = [frozenset(c) for c in itertools.combinations(range(n), k)]
+    g = Graph(len(subsets))
+    for i in range(len(subsets)):
+        for j in range(i + 1, len(subsets)):
+            if not (subsets[i] & subsets[j]):
+                g.add_edge(i, j)
+    return g
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two ``K_clique``s joined by a ``bridge``-edge path."""
+    if clique < 3:
+        raise GraphError(f"barbell needs cliques >= 3, got {clique}")
+    from repro.graphs.generators import complete_graph
+    from repro.graphs.operations import disjoint_union
+
+    g = disjoint_union(complete_graph(clique), complete_graph(clique))
+    left_anchor, right_anchor = clique - 1, clique
+    prev = left_anchor
+    for _ in range(bridge):
+        v = g.add_vertex()
+        g.add_edge(prev, v)
+        prev = v
+    g.add_edge(prev, right_anchor)
+    return g
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """A ``K_clique`` with a ``tail``-vertex path hanging off it."""
+    if clique < 3:
+        raise GraphError(f"lollipop needs clique >= 3, got {clique}")
+    from repro.graphs.generators import complete_graph
+
+    g = complete_graph(clique)
+    prev = 0
+    for _ in range(tail):
+        v = g.add_vertex()
+        g.add_edge(prev, v)
+        prev = v
+    return g
+
+
+def _is_prime(x: int) -> bool:
+    if x < 2:
+        return False
+    d = 2
+    while d * d <= x:
+        if x % d == 0:
+            return False
+        d += 1
+    return True

@@ -1,0 +1,208 @@
+"""Undirected simple graph on vertices ``0 .. n-1``.
+
+The class is a thin, fast adjacency-set structure.  Vertices are always the
+integers ``0..n-1``; generators and operations preserve this convention so
+that distance matrices, DP tables and permutations can be plain NumPy arrays
+indexed by vertex id (the hot paths in this library are all array-shaped).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class Graph:
+    """An undirected simple graph with integer vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Self-loops are rejected;
+        duplicate edges are silently coalesced (the structure is a simple
+        graph).
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.n, g.m
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_n", "_adj", "_m")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = int(n)
+        self._adj: list[set[int]] = [set() for _ in range(self._n)]
+        self._m = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph whose vertex count is ``1 + max vertex id`` seen.
+
+        >>> Graph.from_edges([(0, 2)]).n
+        3
+        """
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(n, edge_list)
+
+    @classmethod
+    def from_adjacency_matrix(cls, matrix: np.ndarray) -> "Graph":
+        """Build a graph from a square boolean/0-1 adjacency matrix."""
+        a = np.asarray(matrix)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {a.shape}")
+        if not np.array_equal(a, a.T):
+            raise GraphError("adjacency matrix must be symmetric")
+        if np.any(np.diagonal(a)):
+            raise GraphError("adjacency matrix must have zero diagonal")
+        us, vs = np.nonzero(np.triu(a, k=1))
+        return cls(a.shape[0], zip(us.tolist(), vs.tolist()))
+
+    def copy(self) -> "Graph":
+        """A deep, independent copy of the graph."""
+        g = Graph(self._n)
+        g._adj = [set(s) for s in self._adj]
+        g._m = self._m
+        return g
+
+    # ------------------------------------------------------------------
+    # mutation (builder phase)
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``{u, v}``; duplicates are no-ops, loops are errors."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} is not allowed")
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._m += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``{u, v}``; raises if it is absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex and return its id."""
+        self._adj.append(set())
+        self._n += 1
+        return self._n - 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def vertices(self) -> range:
+        """The vertex ids ``0..n-1``."""
+        return range(self._n)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the edge ``{u, v}`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def neighbors(self, v: int) -> frozenset[int]:
+        """The open neighbourhood ``N(v)`` as an immutable set."""
+        self._check_vertex(v)
+        return frozenset(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def degrees(self) -> list[int]:
+        """Degree of every vertex, indexed by vertex id."""
+        return [len(s) for s in self._adj]
+
+    def max_degree(self) -> int:
+        """The maximum degree Δ (0 for the empty graph)."""
+        return max((len(s) for s in self._adj), default=0)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each edge once, as ``(u, v)`` with ``u < v``, sorted."""
+        for u in range(self._n):
+            for v in sorted(self._adj[u]):
+                if u < v:
+                    yield (u, v)
+
+    def adjacency_matrix(self, dtype=np.bool_) -> np.ndarray:
+        """Dense ``n x n`` adjacency matrix."""
+        a = np.zeros((self._n, self._n), dtype=dtype)
+        for u in range(self._n):
+            nbrs = list(self._adj[u])
+            if nbrs:
+                a[u, nbrs] = 1
+        return a
+
+    def adjacency_sets(self) -> list[frozenset[int]]:
+        """Immutable snapshot of the adjacency structure."""
+        return [frozenset(s) for s in self._adj]
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)`` (0.0 for graphs with < 2 vertices)."""
+        if self._n < 2:
+            return 0.0
+        return 2.0 * self._m / (self._n * (self._n - 1))
+
+    def is_complete(self) -> bool:
+        """True iff every vertex pair is adjacent."""
+        return self._m == self._n * (self._n - 1) // 2
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __hash__(self) -> int:  # content hash; graphs are small in practice
+        return hash((self._n, tuple(tuple(sorted(s)) for s in self._adj)))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, v: int) -> bool:
+        return 0 <= v < self._n
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._n):
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")

@@ -1,0 +1,121 @@
+"""Plain-text graph serialization.
+
+Two formats:
+
+* **edge list** — first line ``n m``, then one ``u v`` pair per line.  The
+  natural interchange format for the CLI and examples.
+* **DIMACS-like** — ``c`` comment lines, one ``p edge n m`` problem line and
+  ``e u v`` lines with 1-based vertices, as used by the coloring/labeling
+  benchmark community the paper's experiments would target.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def write_edge_list(graph: Graph, target: TextIO | str | Path) -> None:
+    """Write ``n m`` then one edge per line."""
+    own, fh = _open(target, "w")
+    try:
+        fh.write(f"{graph.n} {graph.m}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_edge_list(source: TextIO | str | Path) -> Graph:
+    """Inverse of :func:`write_edge_list`."""
+    own, fh = _open(source, "r")
+    try:
+        header = fh.readline().split()
+        if len(header) != 2:
+            raise GraphError(f"bad edge-list header: {header!r}")
+        n, m = int(header[0]), int(header[1])
+        g = Graph(n)
+        for line in fh:
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 2:
+                raise GraphError(f"bad edge line: {line!r}")
+            g.add_edge(int(parts[0]), int(parts[1]))
+        if g.m != m:
+            raise GraphError(f"edge count mismatch: header says {m}, read {g.m}")
+        return g
+    finally:
+        if own:
+            fh.close()
+
+
+def write_dimacs(graph: Graph, target: TextIO | str | Path, comment: str = "") -> None:
+    """Write DIMACS ``p edge`` format (1-based vertices)."""
+    own, fh = _open(target, "w")
+    try:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"c {line}\n")
+        fh.write(f"p edge {graph.n} {graph.m}\n")
+        for u, v in graph.edges():
+            fh.write(f"e {u + 1} {v + 1}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_dimacs(source: TextIO | str | Path) -> Graph:
+    """Read DIMACS ``p edge`` format (1-based vertices)."""
+    own, fh = _open(source, "r")
+    try:
+        g: Graph | None = None
+        declared_m = 0
+        for line in fh:
+            parts = line.split()
+            if not parts or parts[0] == "c":
+                continue
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] not in ("edge", "edges", "col"):
+                    raise GraphError(f"bad DIMACS problem line: {line!r}")
+                g = Graph(int(parts[2]))
+                declared_m = int(parts[3])
+            elif parts[0] == "e":
+                if g is None:
+                    raise GraphError("DIMACS edge line before problem line")
+                g.add_edge(int(parts[1]) - 1, int(parts[2]) - 1)
+            else:
+                raise GraphError(f"unrecognized DIMACS line: {line!r}")
+        if g is None:
+            raise GraphError("DIMACS input had no problem line")
+        if g.m != declared_m:
+            raise GraphError(
+                f"edge count mismatch: problem line says {declared_m}, read {g.m}"
+            )
+        return g
+    finally:
+        if own:
+            fh.close()
+
+
+def to_edge_list_string(graph: Graph) -> str:
+    """Edge-list serialization into a string (see :func:`write_edge_list`)."""
+    buf = _io.StringIO()
+    write_edge_list(graph, buf)
+    return buf.getvalue()
+
+
+def from_edge_list_string(text: str) -> Graph:
+    """Parse a string produced by :func:`to_edge_list_string`."""
+    return read_edge_list(_io.StringIO(text))
+
+
+def _open(target: TextIO | str | Path, mode: str) -> tuple[bool, TextIO]:
+    if isinstance(target, (str, Path)):
+        return True, open(target, mode, encoding="utf-8")
+    return False, target

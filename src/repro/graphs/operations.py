@@ -1,0 +1,169 @@
+"""Graph operations used throughout the paper's constructions.
+
+``complement`` and ``graph_power`` are load-bearing: Corollary 2 solves
+``L(p,q)`` with ``p > q`` via PARTITION INTO PATHS on the complement, and
+Theorem 4 solves ``L(1,...,1)`` via COLORING on ``G^k``.  ``add_universal_vertex``
+and ``add_false_twin`` are the gadget moves of Theorems 1 and 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_pairs_distances
+
+
+def complement(graph: Graph) -> Graph:
+    """The complement graph: same vertices, exactly the missing edges.
+
+    >>> from repro.graphs.generators import path_graph
+    >>> complement(path_graph(3)).m   # P3 has 2 of the 3 possible edges
+    1
+    """
+    g = Graph(graph.n)
+    adj = graph.adjacency_sets()
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            if v not in adj[u]:
+                g.add_edge(u, v)
+    return g
+
+
+def graph_power(graph: Graph, k: int) -> Graph:
+    """The ``k``-th power ``G^k``: join vertices at distance ``1..k``.
+
+    Pairs in different components stay non-adjacent (their distance is
+    infinite).  ``k >= 1`` is required.
+    """
+    if k < 1:
+        raise GraphError(f"graph power requires k >= 1, got {k}")
+    dist = all_pairs_distances(graph)
+    within = (dist >= 1) & (dist <= k)
+    return Graph.from_adjacency_matrix(within)
+
+
+def disjoint_union(a: Graph, b: Graph) -> Graph:
+    """Disjoint union; vertices of ``b`` are shifted by ``a.n``."""
+    g = Graph(a.n + b.n)
+    for u, v in a.edges():
+        g.add_edge(u, v)
+    for u, v in b.edges():
+        g.add_edge(u + a.n, v + a.n)
+    return g
+
+
+def join(a: Graph, b: Graph) -> Graph:
+    """Graph join: disjoint union plus every edge between the two sides."""
+    g = disjoint_union(a, b)
+    for u in range(a.n):
+        for v in range(b.n):
+            g.add_edge(u, a.n + v)
+    return g
+
+
+def induced_subgraph(graph: Graph, vertices: Sequence[int]) -> Graph:
+    """``G[S]`` with vertices renumbered ``0..len(S)-1`` in the given order.
+
+    Raises on duplicate vertices.
+    """
+    order = list(vertices)
+    if len(set(order)) != len(order):
+        raise GraphError("induced_subgraph: duplicate vertices in selection")
+    index = {v: i for i, v in enumerate(order)}
+    g = Graph(len(order))
+    adj = graph.adjacency_sets()
+    for v in order:
+        graph._check_vertex(v)
+    for i, v in enumerate(order):
+        for w in adj[v]:
+            j = index.get(w)
+            if j is not None and i < j:
+                g.add_edge(i, j)
+    return g
+
+
+def relabel(graph: Graph, permutation: Sequence[int]) -> Graph:
+    """Apply a vertex permutation: new id of vertex ``v`` is ``permutation[v]``."""
+    perm = list(permutation)
+    if sorted(perm) != list(range(graph.n)):
+        raise GraphError("relabel: not a permutation of the vertex set")
+    g = Graph(graph.n)
+    for u, v in graph.edges():
+        g.add_edge(perm[u], perm[v])
+    return g
+
+
+def add_universal_vertex(graph: Graph) -> tuple[Graph, int]:
+    """Return ``(G + x, x)`` where ``x`` is adjacent to every old vertex.
+
+    This is the second step of the Griggs–Yeh construction used in Theorem 3.
+    """
+    g = graph.copy()
+    x = g.add_vertex()
+    for v in range(graph.n):
+        g.add_edge(v, x)
+    return g, x
+
+
+def add_false_twin(graph: Graph, v: int) -> tuple[Graph, int]:
+    """Return ``(G', v')`` where ``v'`` is a new non-adjacent twin of ``v``.
+
+    ``v'`` gets exactly the neighbourhood ``N(v)``; the Theorem 1 gadget uses
+    this to split a Hamiltonian cycle through ``v`` into a path.
+    """
+    graph._check_vertex(v)
+    g = graph.copy()
+    twin = g.add_vertex()
+    for w in graph.neighbors(v):
+        g.add_edge(twin, w)
+    return g, twin
+
+
+def add_leaf(graph: Graph, v: int) -> tuple[Graph, int]:
+    """Return ``(G', w)`` with a fresh degree-1 vertex ``w`` attached to ``v``."""
+    graph._check_vertex(v)
+    g = graph.copy()
+    w = g.add_vertex()
+    g.add_edge(v, w)
+    return g, w
+
+
+def edge_subdivision(graph: Graph, u: int, v: int) -> Graph:
+    """Replace edge ``{u, v}`` by a length-2 path through a new vertex."""
+    if not graph.has_edge(u, v):
+        raise GraphError(f"edge ({u}, {v}) not present")
+    g = graph.copy()
+    g.remove_edge(u, v)
+    w = g.add_vertex()
+    g.add_edge(u, w)
+    g.add_edge(w, v)
+    return g
+
+
+def is_clique(graph: Graph, vertices: Iterable[int]) -> bool:
+    """True iff the given vertices are pairwise adjacent."""
+    vs = list(vertices)
+    adj = graph.adjacency_sets()
+    return all(vs[j] in adj[vs[i]] for i in range(len(vs)) for j in range(i + 1, len(vs)))
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """True iff the given vertices are pairwise non-adjacent."""
+    vs = list(vertices)
+    adj = graph.adjacency_sets()
+    return all(
+        vs[j] not in adj[vs[i]] for i in range(len(vs)) for j in range(i + 1, len(vs))
+    )
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``h[d]`` = number of vertices of degree ``d`` (length ``max_degree+1``)."""
+    degs = graph.degrees()
+    h = np.zeros(max(degs, default=0) + 1, dtype=np.int64)
+    for d in degs:
+        h[d] += 1
+    return h

@@ -1,0 +1,23 @@
+"""Hamiltonicity deciders and the paper's hardness gadgets (Theorems 1 & 3)."""
+
+from repro.hamiltonicity.ham import (
+    has_hamiltonian_path,
+    has_hamiltonian_cycle,
+    find_hamiltonian_path,
+    find_hamiltonian_cycle,
+)
+from repro.hamiltonicity.reductions import (
+    hc_to_hp_gadget,
+    griggs_yeh_gadget,
+    GadgetResult,
+)
+
+__all__ = [
+    "has_hamiltonian_path",
+    "has_hamiltonian_cycle",
+    "find_hamiltonian_path",
+    "find_hamiltonian_cycle",
+    "hc_to_hp_gadget",
+    "griggs_yeh_gadget",
+    "GadgetResult",
+]

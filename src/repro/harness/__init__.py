@@ -1,0 +1,18 @@
+"""Experiment harness: workloads, timed runs, tables, the E1–E10 suite."""
+
+from repro.harness.workloads import WORKLOADS, Workload, make_workload
+from repro.harness.runner import EngineRun, run_engines, time_call
+from repro.harness.tables import render_table, render_markdown
+from repro.harness import experiments
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+    "EngineRun",
+    "run_engines",
+    "time_call",
+    "render_table",
+    "render_markdown",
+    "experiments",
+]

@@ -1,0 +1,85 @@
+"""Statistics helpers for experiment analysis.
+
+Small, dependency-light: summary stats, growth-rate estimation (for the
+O(2^n) / O(nm) scaling experiments) and bootstrap confidence intervals for
+ratio comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def row(self) -> list[float]:
+        """The summary as a table row: mean, std, min, median, max."""
+        return [self.mean, self.std, self.minimum, self.median, self.maximum]
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a sample (population std, ddof=0)."""
+    a = np.asarray(list(values), dtype=float)
+    if a.size == 0:
+        return Summary(0, float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"))
+    return Summary(
+        n=int(a.size),
+        mean=float(a.mean()),
+        std=float(a.std()),
+        minimum=float(a.min()),
+        maximum=float(a.max()),
+        median=float(np.median(a)),
+    )
+
+
+def growth_factor_per_step(sizes, times) -> float:
+    """Geometric-mean growth factor between consecutive measurements.
+
+    For Held–Karp over ``n, n+2, n+4, …`` the factor per +2 vertices should
+    approach 4 (i.e. 2 per vertex).
+    """
+    t = np.asarray(list(times), dtype=float)
+    if len(t) < 2 or np.any(t <= 0):
+        return float("nan")
+    ratios = t[1:] / t[:-1]
+    return float(np.exp(np.log(ratios).mean()))
+
+
+def fit_power_law(sizes, times) -> float:
+    """Least-squares exponent ``b`` of ``time ≈ a * n^b`` (log-log fit).
+
+    Used by the E3 analysis: the reduction on dense diameter-2 graphs should
+    fit an exponent around 2.5–3.2 (n*m with m ~ n^2).
+    """
+    x = np.log(np.asarray(list(sizes), dtype=float))
+    y = np.log(np.asarray(list(times), dtype=float))
+    if len(x) < 2:
+        return float("nan")
+    b, _a = np.polyfit(x, y, 1)
+    return float(b)
+
+
+def bootstrap_mean_ci(
+    values, confidence: float = 0.95, resamples: int = 2000, seed: int = 0
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean."""
+    a = np.asarray(list(values), dtype=float)
+    if a.size == 0:
+        return (float("nan"), float("nan"))
+    rng = np.random.default_rng(seed)
+    means = rng.choice(a, size=(resamples, a.size), replace=True).mean(axis=1)
+    lo = (1 - confidence) / 2
+    return (
+        float(np.quantile(means, lo)),
+        float(np.quantile(means, 1 - lo)),
+    )

@@ -1,0 +1,45 @@
+"""Plain-text and markdown table rendering for experiment output.
+
+No plotting dependency: the paper's "figures" are reproduced as tables /
+series printed by the benchmark harness, which is what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(x: Any) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) < 1e-3 or abs(x) >= 1e6:
+            return f"{x:.2e}"
+        return f"{x:.4f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(items: Sequence[str]) -> str:
+        return "  ".join(s.ljust(w) for s, w in zip(items, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def render_markdown(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavoured markdown table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    out.extend("| " + " | ".join(r) + " |" for r in cells)
+    return "\n".join(out)

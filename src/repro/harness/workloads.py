@@ -1,0 +1,98 @@
+"""Named, seeded workload generators for the benchmark experiments.
+
+Every workload is a deterministic function of ``(name, size, seed)``, so any
+number reported in EXPERIMENTS.md can be regenerated bit-for-bit.  The
+families mirror the paper's setting: small-diameter graphs of varied density
+and structure, plus the radio-network geometric family from the motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs import generators as gen
+from repro.graphs.cotree import random_connected_cograph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark instance with provenance."""
+
+    family: str
+    n: int
+    seed: int
+    graph: Graph
+
+    @property
+    def label(self) -> str:
+        return f"{self.family}(n={self.n}, seed={self.seed})"
+
+
+def _diam2(n: int, seed: int) -> Graph:
+    return gen.random_graph_with_diameter_at_most(n, 2, seed=seed)
+
+
+def _diam3(n: int, seed: int) -> Graph:
+    return gen.random_graph_with_diameter_at_most(n, 3, seed=seed)
+
+
+def _dense(n: int, seed: int) -> Graph:
+    return gen.random_graph_with_diameter_at_most(n, 2, seed=np.random.default_rng(seed))
+
+
+def _geometric(n: int, seed: int) -> Graph:
+    # radius tuned to keep the diameter small at moderate n
+    g, _pos = gen.random_geometric_graph(n, radius=0.55, seed=seed)
+    return g
+
+def _split(n: int, seed: int) -> Graph:
+    clique = max(2, n // 2)
+    return gen.random_split_graph(clique, n - clique, p=0.7, seed=seed)
+
+
+def _cograph(n: int, seed: int) -> Graph:
+    return random_connected_cograph(n, seed=seed)
+
+
+def _wheel(n: int, seed: int) -> Graph:
+    return gen.wheel_graph(max(n - 1, 3))
+
+
+def _complete_bipartite(n: int, seed: int) -> Graph:
+    a = max(1, n // 2)
+    return gen.complete_bipartite_graph(a, n - a)
+
+
+#: family name -> generator(n, seed)
+WORKLOADS: dict[str, Callable[[int, int], Graph]] = {
+    "diam2": _diam2,
+    "diam3": _diam3,
+    "geometric": _geometric,
+    "split": _split,
+    "cograph": _cograph,
+    "wheel": _wheel,
+    "complete_bipartite": _complete_bipartite,
+}
+
+
+def make_workload(family: str, n: int, seed: int = 0) -> Workload:
+    """Instantiate one named workload."""
+    try:
+        factory = WORKLOADS[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload family {family!r}; known: {', '.join(WORKLOADS)}"
+        ) from None
+    return Workload(family=family, n=n, seed=seed, graph=factory(n, seed))
+
+
+def sweep(
+    family: str, sizes: list[int], seeds: list[int]
+) -> list[Workload]:
+    """The cross product of sizes and seeds for one family."""
+    return [make_workload(family, n, s) for n in sizes for s in seeds]

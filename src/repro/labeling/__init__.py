@@ -1,0 +1,32 @@
+"""Distance-constrained labeling: specifications, labelings, solvers, bounds."""
+
+from repro.labeling.spec import LpSpec
+from repro.labeling.labeling import Labeling
+from repro.labeling.exact import exact_span, exact_labeling
+from repro.labeling.greedy import greedy_labeling, greedy_span
+from repro.labeling.special import (
+    l21_span_path,
+    l21_span_cycle,
+    l21_span_complete,
+    l21_span_star,
+    l21_span_wheel,
+    l21_span_complete_bipartite,
+)
+from repro.labeling.bounds import lower_bound, trivial_upper_bound
+
+__all__ = [
+    "LpSpec",
+    "Labeling",
+    "exact_span",
+    "exact_labeling",
+    "greedy_labeling",
+    "greedy_span",
+    "l21_span_path",
+    "l21_span_cycle",
+    "l21_span_complete",
+    "l21_span_star",
+    "l21_span_wheel",
+    "l21_span_complete_bipartite",
+    "lower_bound",
+    "trivial_upper_bound",
+]

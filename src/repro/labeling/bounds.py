@@ -1,0 +1,67 @@
+"""Lower and upper bounds on the optimum span.
+
+Used to start the exact solver's iterative deepening, to sanity-check every
+solver's output in tests (``lower <= span <= upper``), and to report
+optimality gaps in the harness tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.spec import LpSpec
+
+
+def lower_bound(graph: Graph, spec: LpSpec, dist: np.ndarray | None = None) -> int:
+    """A cheap valid lower bound on ``λ_p(G)``.
+
+    Combines three arguments:
+
+    * **all-pairs**: if every pair is within distance ``k`` (``diam <= k``)
+      and every ``p_d >= 1``, all labels are distinct with pairwise gaps at
+      least ``min_d p_d``, so ``λ >= (n-1) * min_d p_d`` — this is exactly
+      the ``p_min <= w`` side of the paper's reduction;
+    * **star**: a vertex of degree ``Δ`` forces its closed neighbourhood
+      onto ``Δ+1`` labels with gaps at least ``min(p_1, p_2)`` between
+      neighbours (they are within distance 2) and ``p_1`` to the centre;
+    * **edge**: any edge forces ``λ >= p_1``.
+    """
+    n = graph.n
+    if n <= 1:
+        return 0
+    if dist is None:
+        dist = all_pairs_distances(graph)
+    best = 0
+
+    if graph.m > 0:
+        best = max(best, spec.p[0])
+
+    finite = dist[dist > 0]
+    if finite.size and int(finite.max()) <= spec.k and spec.pmin >= 1:
+        best = max(best, (n - 1) * spec.pmin)
+
+    delta = graph.max_degree()
+    if delta >= 1 and spec.k >= 2:
+        gap2 = min(spec.p[0], spec.p[1])
+        if gap2 >= 1:
+            # Δ neighbours pairwise >= gap2 apart spans (Δ-1)*gap2; the centre
+            # adds at least p_1 - gap2 more when it sits at an end (never
+            # negative when p1 >= gap2, which holds since gap2 <= p1).
+            best = max(best, (delta - 1) * gap2 + spec.p[0])
+    elif delta >= 1:
+        best = max(best, spec.p[0])
+
+    return best
+
+
+def trivial_upper_bound(graph: Graph, spec: LpSpec) -> int:
+    """``(n - 1) * p_max`` — spread labels ``0, p_max, 2 p_max, ...``.
+
+    Feasible whenever it assigns all-distinct labels with gaps >= p_max,
+    which dominates every requirement.
+    """
+    if graph.n <= 1:
+        return 0
+    return (graph.n - 1) * spec.pmax

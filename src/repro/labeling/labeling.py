@@ -1,0 +1,122 @@
+"""Labeling value object with feasibility verification.
+
+Every solver in this library returns a :class:`Labeling`; the constructor is
+cheap and verification is explicit (``is_feasible`` / ``violations`` /
+``require_feasible``) so the harness can re-verify *every* engine's output —
+an end-to-end safety net the paper's correctness claims are tested through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.labeling.spec import LpSpec
+
+
+@dataclass(frozen=True)
+class Labeling:
+    """An assignment ``l : V -> N ∪ {0}`` stored as a tuple indexed by vertex."""
+
+    labels: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any((not isinstance(x, (int, np.integer))) or x < 0 for x in self.labels):
+            raise ReproError("labels must be non-negative integers")
+        object.__setattr__(self, "labels", tuple(int(x) for x in self.labels))
+
+    @classmethod
+    def from_sequence(cls, labels: Sequence[int]) -> "Labeling":
+        return cls(tuple(int(x) for x in labels))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.labels)
+
+    @property
+    def span(self) -> int:
+        """The maximum label (0 for the empty labeling)."""
+        return max(self.labels, default=0)
+
+    def __getitem__(self, v: int) -> int:
+        return self.labels[v]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    # ------------------------------------------------------------------
+    def violations(
+        self, graph: Graph, spec: LpSpec, dist: np.ndarray | None = None
+    ) -> list[tuple[int, int, int, int]]:
+        """All violated pairs as ``(u, v, distance, required_gap)``.
+
+        ``dist`` may be passed to reuse a precomputed distance matrix.
+        """
+        if graph.n != self.n:
+            raise ReproError(
+                f"labeling covers {self.n} vertices but graph has {graph.n}"
+            )
+        if dist is None:
+            dist = all_pairs_distances(graph)
+        lab = np.asarray(self.labels, dtype=np.int64)
+        gaps = np.abs(lab[:, None] - lab[None, :])
+        out: list[tuple[int, int, int, int]] = []
+        for d in range(1, spec.k + 1):
+            req = spec.p[d - 1]
+            if req == 0:
+                continue
+            bad_u, bad_v = np.nonzero(np.triu(dist == d, k=1) & (gaps < req))
+            out.extend(
+                (int(u), int(v), d, req) for u, v in zip(bad_u, bad_v)
+            )
+        return out
+
+    def is_feasible(
+        self, graph: Graph, spec: LpSpec, dist: np.ndarray | None = None
+    ) -> bool:
+        """Fast vectorized feasibility check (no violation list built)."""
+        if graph.n != self.n:
+            return False
+        if dist is None:
+            dist = all_pairs_distances(graph)
+        lab = np.asarray(self.labels, dtype=np.int64)
+        gaps = np.abs(lab[:, None] - lab[None, :])
+        for d in range(1, spec.k + 1):
+            req = spec.p[d - 1]
+            if req == 0:
+                continue
+            if np.any((dist == d) & (gaps < req) & ~np.eye(self.n, dtype=bool)):
+                return False
+        return True
+
+    def require_feasible(self, graph: Graph, spec: LpSpec) -> "Labeling":
+        """Assert feasibility; raises with the first few violations listed."""
+        bad = self.violations(graph, spec)
+        if bad:
+            head = ", ".join(
+                f"({u},{v}) d={d} needs {req}" for u, v, d, req in bad[:5]
+            )
+            raise ReproError(f"infeasible labeling: {len(bad)} violations: {head}")
+        return self
+
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Labeling":
+        """Shift labels down so the minimum used label is 0.
+
+        Any feasible labeling can be shifted without changing feasibility
+        (only gaps matter); optimal labelings always use label 0 (the paper's
+        observation before Claim 1).
+        """
+        if not self.labels:
+            return self
+        lo = min(self.labels)
+        return Labeling(tuple(x - lo for x in self.labels))

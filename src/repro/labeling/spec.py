@@ -1,0 +1,99 @@
+"""The distance-constraint vector ``p`` and its derived quantities.
+
+``LpSpec(p)`` models the ``p = (p_1, ..., p_k)`` of the paper: a labeling is
+feasible iff ``|l(u) - l(v)| >= p_d`` for every pair at distance ``d <= k``.
+``L21`` and ``L11`` are the two specs every survey cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class LpSpec:
+    """An ``L(p_1, ..., p_k)`` constraint vector.
+
+    Entries must be non-negative integers and at least one must be positive
+    (otherwise the problem is vacuous — the paper's NP-hardness statement is
+    "for every non-zero p").
+
+    >>> LpSpec((2, 1)).k
+    2
+    >>> LpSpec((2, 1)).reduction_applicable
+    True
+    >>> LpSpec((3, 1)).reduction_applicable   # 3 > 2*1
+    False
+    """
+
+    p: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.p:
+            raise ReproError("p must have at least one entry")
+        if any((not isinstance(x, int)) or x < 0 for x in self.p):
+            raise ReproError(f"p entries must be non-negative ints, got {self.p}")
+        if all(x == 0 for x in self.p):
+            raise ReproError("p must be non-zero")
+
+    @classmethod
+    def of(cls, *entries: int) -> "LpSpec":
+        """Convenience constructor: ``LpSpec.of(2, 1)``."""
+        return cls(tuple(int(e) for e in entries))
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Dimension of ``p`` — the distance horizon of the constraints."""
+        return len(self.p)
+
+    @cached_property
+    def pmin(self) -> int:
+        return min(self.p)
+
+    @cached_property
+    def pmax(self) -> int:
+        return max(self.p)
+
+    @property
+    def reduction_applicable(self) -> bool:
+        """Theorem 2's weight condition: ``p_max <= 2 * p_min``.
+
+        (The other precondition, ``diam(G) <= k``, depends on the graph and
+        is checked by :mod:`repro.reduction.validation`.)
+        """
+        return self.pmin >= 1 and self.pmax <= 2 * self.pmin
+
+    def requirement(self, distance: int) -> int:
+        """Minimum label gap for a pair at the given distance (0 if > k)."""
+        if distance < 1:
+            raise ReproError(f"distance must be >= 1, got {distance}")
+        if distance > self.k:
+            return 0
+        return self.p[distance - 1]
+
+    def scaled(self, c: int) -> "LpSpec":
+        """``c * p`` — used by Corollary 3's identity ``λ_{cp} = c λ_p``."""
+        if c < 1:
+            raise ReproError(f"scale factor must be >= 1, got {c}")
+        return LpSpec(tuple(c * x for x in self.p))
+
+    def __str__(self) -> str:
+        return f"L({', '.join(map(str, self.p))})"
+
+
+#: The frequency-assignment classic.
+L21 = LpSpec((2, 1))
+
+#: Coloring of the square (distance-2 coloring).
+L11 = LpSpec((1, 1))
+
+
+def all_ones(k: int) -> LpSpec:
+    """``L(1, ..., 1)`` with ``k`` ones — the Theorem 4 spec."""
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    return LpSpec((1,) * k)

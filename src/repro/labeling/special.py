@@ -1,0 +1,77 @@
+"""Closed-form ``L(2,1)`` spans for the classic graph families.
+
+The paper's introduction lists paths, cycles and wheels as classes solvable
+by "straightforward" algorithms; these Griggs–Yeh formulas are the answers.
+They serve as independent oracles: the TSP pipeline must reproduce each one
+exactly (covered by the test-suite and experiment E3).
+
+References: Griggs & Yeh, SIAM J. Discrete Math. 5(4), 1992.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def l21_span_path(n: int) -> int:
+    """``λ_{2,1}(P_n)``: 0, 2, 3, 3, 4, 4, ... (Griggs–Yeh Thm 3.1)."""
+    if n < 1:
+        raise ReproError(f"path needs n >= 1, got {n}")
+    if n == 1:
+        return 0
+    if n == 2:
+        return 2
+    if n in (3, 4):
+        return 3
+    return 4
+
+
+def l21_span_cycle(n: int) -> int:
+    """``λ_{2,1}(C_n) = 4`` for every ``n >= 3`` (Griggs–Yeh Thm 3.2)."""
+    if n < 3:
+        raise ReproError(f"cycle needs n >= 3, got {n}")
+    return 4
+
+
+def l21_span_complete(n: int) -> int:
+    """``λ_{2,1}(K_n) = 2(n - 1)``: all pairs adjacent, gaps of 2."""
+    if n < 1:
+        raise ReproError(f"complete graph needs n >= 1, got {n}")
+    return 2 * (n - 1)
+
+
+def l21_span_star(n_leaves: int) -> int:
+    """``λ_{2,1}(K_{1,n}) = n + 1`` for ``n >= 1``.
+
+    Leaves are pairwise at distance 2 (distinct labels), the centre needs a
+    gap of 2 from each leaf; centre at 0, leaves at 2..n+1 is optimal.
+    """
+    if n_leaves < 1:
+        raise ReproError(f"star needs >= 1 leaf, got {n_leaves}")
+    return n_leaves + 1
+
+
+def l21_span_wheel(n_rim: int) -> int:
+    """``λ_{2,1}(W_n) = n + 1`` for rim size ``n >= 5``; 6 for rims 3 and 4.
+
+    Lower bound: the hub is adjacent to all ``n`` rim vertices and the rim is
+    pairwise within distance 2, so all ``n + 1`` labels are distinct and the
+    hub's label excludes a 3-wide window — at least ``n + 2`` values, i.e.
+    span ``>= n + 1``.  Upper bound: hub at 0, rim on ``{2, ..., n+1}``
+    arranged even-then-odd around the cycle (adjacent gaps >= 2), which works
+    for ``n >= 5``.  For ``n = 3`` (= K_4) and ``n = 4`` the cyclic
+    arrangement fails and the optimum is 6 (verified by exhaustive search in
+    the test-suite, as are all rims up to 8).
+    """
+    if n_rim < 3:
+        raise ReproError(f"wheel needs rim >= 3, got {n_rim}")
+    if n_rim in (3, 4):
+        return 6
+    return n_rim + 1
+
+
+def l21_span_complete_bipartite(a: int, b: int) -> int:
+    """``λ_{2,1}(K_{a,b}) = a + b`` (Griggs–Yeh; diameter 2 for a,b >= 1)."""
+    if a < 1 or b < 1:
+        raise ReproError(f"complete bipartite needs both sides >= 1, got {a},{b}")
+    return a + b

@@ -1,0 +1,59 @@
+"""Corollary 2 / Theorem 4 machinery: path partitions, parameters, coloring."""
+
+from repro.partition.paths_partition import (
+    partition_into_paths_exact,
+    partition_into_paths_greedy,
+    partition_lower_bound,
+    is_path_partition,
+)
+from repro.partition.diameter2 import (
+    solve_lpq_diameter2,
+    span_from_path_count,
+    Diameter2Result,
+)
+from repro.partition.modular import (
+    modular_decomposition,
+    modular_width,
+    smallest_containing_module,
+    is_module,
+    MDNode,
+)
+from repro.partition.neighborhood_diversity import (
+    neighborhood_diversity,
+    twin_classes,
+)
+from repro.partition.coloring import (
+    greedy_coloring,
+    dsatur_coloring,
+    chromatic_number_exact,
+    chromatic_number_via_twin_quotient,
+)
+from repro.partition.l1_labeling import (
+    l1_labeling_exact,
+    l1_labeling_heuristic,
+    pmax_approx_labeling,
+)
+
+__all__ = [
+    "partition_into_paths_exact",
+    "partition_into_paths_greedy",
+    "partition_lower_bound",
+    "is_path_partition",
+    "solve_lpq_diameter2",
+    "span_from_path_count",
+    "Diameter2Result",
+    "modular_decomposition",
+    "modular_width",
+    "smallest_containing_module",
+    "is_module",
+    "MDNode",
+    "neighborhood_diversity",
+    "twin_classes",
+    "greedy_coloring",
+    "dsatur_coloring",
+    "chromatic_number_exact",
+    "chromatic_number_via_twin_quotient",
+    "l1_labeling_exact",
+    "l1_labeling_heuristic",
+    "pmax_approx_labeling",
+]

@@ -1,0 +1,58 @@
+"""Neighborhood diversity ``nd(G)`` via twin classes.
+
+Definition 2 of the paper: the minimum number of classes such that inside a
+class every pair ``u, v`` has ``N(u) \\ {v} = N(v) \\ {u}``.  The relation
+"``u`` and ``v`` are twins" (true twins: ``N[u] = N[v]``; false twins:
+``N(u) = N(v)``) is an equivalence, and its classes realize the minimum, so
+``nd`` is computable exactly in ``O(n^2)`` by hashing neighbourhoods.
+
+Used by the Theorem-4 / Proposition-2 experiments:
+``nd(G^k) <= nd(G^2) <= mw(G)`` for connected ``G`` and ``k >= 2``.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def twin_classes(graph: Graph) -> list[list[int]]:
+    """The twin-equivalence classes, each sorted, ordered by smallest member.
+
+    ``u ~ v`` iff ``N(u) \\ {v} == N(v) \\ {u}``, which holds exactly when
+    ``u, v`` are false twins (equal open neighbourhoods) or true twins
+    (equal closed neighbourhoods).
+
+    >>> from repro.graphs.generators import complete_bipartite_graph
+    >>> len(twin_classes(complete_bipartite_graph(3, 4)))
+    2
+    """
+    buckets: dict[tuple[bool, frozenset[int]], list[int]] = {}
+    for v in range(graph.n):
+        nb = graph.neighbors(v)
+        open_key = (False, nb)
+        closed_key = (True, nb | {v})
+        # a vertex joins an existing bucket if it matches either key;
+        # otherwise it opens both (they are aliases for the same class)
+        if open_key in buckets:
+            buckets[open_key].append(v)
+        elif closed_key in buckets:
+            buckets[closed_key].append(v)
+        else:
+            lst = [v]
+            buckets[open_key] = lst
+            buckets[closed_key] = lst
+    seen: set[int] = set()
+    classes: list[list[int]] = []
+    for lst in buckets.values():
+        if id(lst) not in seen:
+            seen.add(id(lst))
+            classes.append(sorted(lst))
+    classes.sort(key=lambda c: c[0])
+    return classes
+
+
+def neighborhood_diversity(graph: Graph) -> int:
+    """``nd(G)`` — the number of twin classes (0 for the empty graph)."""
+    if graph.n == 0:
+        return 0
+    return len(twin_classes(graph))

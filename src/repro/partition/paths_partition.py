@@ -1,0 +1,208 @@
+"""PARTITION INTO PATHS: cover all vertices by fewest vertex-disjoint paths.
+
+Corollary 2 reduces diameter-2 ``L(p,q)``-labeling to this problem (on ``G``
+or its complement).  The problem generalizes HAMILTONIAN PATH (answer 1), so
+it is NP-hard; we provide:
+
+* an exact ``O(2^n n^2)`` bitmask DP sharing the Held–Karp table shape
+  (``f[S][v]`` = fewest paths covering ``S`` with the current path ending at
+  ``v``), vectorized the same way;
+* a greedy peeling heuristic (upper bound) for larger graphs;
+* cheap lower bounds (``n - m``; component count) used by both.
+
+Certificates: the exact solver returns the actual path lists, validated by
+:func:`is_path_partition`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import connected_components
+
+#: bitmask DP table is ``2^n * n``; same cap story as Held–Karp.
+MAX_EXACT_N = 20
+
+
+def partition_lower_bound(graph: Graph) -> int:
+    """``max(#components, n - m, 1)`` for non-empty graphs.
+
+    A partition into ``s`` paths uses exactly ``n - s`` edges, hence
+    ``s >= n - m``; and paths cannot cross components.
+    """
+    if graph.n == 0:
+        return 0
+    return max(len(connected_components(graph)), graph.n - graph.m, 1)
+
+
+def is_path_partition(graph: Graph, paths: list[list[int]]) -> bool:
+    """Validate: disjoint cover of V, each list a path along edges of G."""
+    seen: set[int] = set()
+    for path in paths:
+        if not path:
+            return False
+        for v in path:
+            if v in seen or not (0 <= v < graph.n):
+                return False
+            seen.add(v)
+        for a, b in zip(path, path[1:]):
+            if not graph.has_edge(a, b):
+                return False
+    return len(seen) == graph.n
+
+
+def partition_into_paths_exact(
+    graph: Graph, max_n: int = MAX_EXACT_N
+) -> tuple[int, list[list[int]]]:
+    """Minimum path partition with certificate, by bitmask DP.
+
+    Returns ``(s, paths)`` with ``len(paths) == s``.
+
+    >>> from repro.graphs.generators import path_graph, empty_graph
+    >>> partition_into_paths_exact(path_graph(4))[0]
+    1
+    >>> partition_into_paths_exact(empty_graph(3))[0]
+    3
+    """
+    n = graph.n
+    if n == 0:
+        return 0, []
+    if n > max_n:
+        raise ReproError(
+            f"exact path partition capped at n={max_n} (got {n}); "
+            "use partition_into_paths_greedy"
+        )
+    adj = graph.adjacency_matrix(dtype=np.bool_)
+    full = (1 << n) - 1
+    INF = np.iinfo(np.int32).max // 4
+    f = np.full((1 << n, n), INF, dtype=np.int32)
+    for v in range(n):
+        f[1 << v, v] = 1
+
+    arange = np.arange(n)
+    for s in range(1, full + 1):
+        row = f[s]
+        finite = row < INF
+        if not finite.any():
+            continue
+        # extend the open path along an edge: cost unchanged
+        ext = np.where(adj[finite], row[finite, None], INF).min(axis=0)
+        # close the path, open a new one anywhere: cost + 1
+        open_new = int(row[finite].min()) + 1
+        best = np.minimum(ext, open_new)
+        outside = arange[~_bits(s, n)]
+        np.minimum.at(f, (s | (1 << outside), outside), best[outside])
+
+    end = int(np.argmin(f[full]))
+    count = int(f[full, end])
+    paths = _reconstruct(f, adj, n, full, end)
+    assert len(paths) == count
+    return count, paths
+
+
+def _bits(s: int, n: int) -> np.ndarray:
+    return (s >> np.arange(n)) & 1 == 1
+
+
+def _reconstruct(
+    f: np.ndarray, adj: np.ndarray, n: int, full: int, end: int
+) -> list[list[int]]:
+    """Walk the DP backwards, splitting paths where the cost stepped up."""
+    paths: list[list[int]] = []
+    current = [end]
+    s, v = full, end
+    while s != (1 << v):
+        prev_s = s & ~(1 << v)
+        members = np.flatnonzero(_bits(prev_s, n))
+        target = f[s, v]
+        # prefer an edge-extension predecessor (same cost)
+        nxt = None
+        for u in members:
+            if adj[u, v] and f[prev_s, u] == target:
+                nxt = int(u)
+                break
+        if nxt is not None:
+            current.append(nxt)
+        else:
+            for u in members:
+                if f[prev_s, u] == target - 1:
+                    nxt = int(u)
+                    break
+            if nxt is None:  # pragma: no cover - DP consistency guard
+                raise ReproError("path partition reconstruction failed")
+            paths.append(current[::-1])
+            current = [nxt]
+        s, v = prev_s, nxt
+    paths.append(current[::-1])
+    return paths
+
+
+def partition_into_paths_greedy(
+    graph: Graph, seed: int | np.random.Generator | None = None, restarts: int = 8
+) -> tuple[int, list[list[int]]]:
+    """Greedy path peeling: repeatedly grow a path from a low-degree vertex.
+
+    Upper bound only.  ``restarts`` random tie-breaking rounds; the best
+    partition is returned.  Always valid (checked by construction).
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    best: tuple[int, list[list[int]]] | None = None
+    for r in range(max(restarts, 1)):
+        paths = _peel_once(graph, rng, randomize=r > 0)
+        if best is None or len(paths) < best[0]:
+            best = (len(paths), paths)
+    assert best is not None
+    return best
+
+
+def _peel_once(
+    graph: Graph, rng: np.random.Generator, randomize: bool
+) -> list[list[int]]:
+    n = graph.n
+    used = np.zeros(n, dtype=bool)
+    adj = graph.adjacency_sets()
+    remaining_deg = np.array([len(s) for s in adj])
+    paths: list[list[int]] = []
+
+    def pick_start() -> int:
+        free = np.flatnonzero(~used)
+        degs = remaining_deg[free]
+        lows = free[degs == degs.min()]
+        return int(rng.choice(lows)) if randomize else int(lows[0])
+
+    def step(v: int) -> int | None:
+        options = [u for u in adj[v] if not used[u]]
+        if not options:
+            return None
+        degs = [remaining_deg[u] for u in options]
+        lo = min(degs)
+        lows = [u for u, d in zip(options, degs) if d == lo]
+        return int(rng.choice(lows)) if randomize else min(lows)
+
+    def consume(v: int) -> None:
+        used[v] = True
+        for u in adj[v]:
+            remaining_deg[u] -= 1
+
+    while not used.all():
+        start = pick_start()
+        consume(start)
+        path = [start]
+        # extend forward, then extend backward from the original start
+        for endpoint, append in ((path[-1], True), (path[0], False)):
+            v = endpoint
+            while True:
+                u = step(v)
+                if u is None:
+                    break
+                consume(u)
+                if append:
+                    path.append(u)
+                else:
+                    path.insert(0, u)
+                v = u
+        paths.append(path)
+    assert is_path_partition(graph, paths)
+    return paths

@@ -1,0 +1,56 @@
+"""Profiling helpers (profile-first, per the hpc-parallel guides).
+
+Thin wrappers around :mod:`cProfile` that return structured rows instead of
+dumping text, so examples and notebooks can show "where the time goes" for
+a solver call without external tooling.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from io import StringIO
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of a profile: a function and its cumulative cost."""
+
+    function: str
+    calls: int
+    total_seconds: float      # time in the function itself
+    cumulative_seconds: float # including callees
+
+
+def profile_call(
+    fn: Callable[[], Any], top: int = 10
+) -> tuple[Any, list[HotSpot]]:
+    """Run ``fn`` under cProfile; return ``(result, hottest functions)``.
+
+    Rows are sorted by cumulative time, library-internal frames first-class
+    (no filtering — seeing numpy kernels is the point).
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler, stream=StringIO())
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    rows: list[HotSpot] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        short = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        rows.append(HotSpot(short, int(nc), float(tt), float(ct)))
+    rows.sort(key=lambda r: -r.cumulative_seconds)
+    return result, rows[:top]
+
+
+def format_hotspots(rows: list[HotSpot]) -> str:
+    """Fixed-width rendering of :func:`profile_call` output."""
+    out = [f"{'cum(s)':>8s} {'tot(s)':>8s} {'calls':>8s}  function"]
+    for r in rows:
+        out.append(
+            f"{r.cumulative_seconds:8.4f} {r.total_seconds:8.4f} "
+            f"{r.calls:8d}  {r.function}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,52 @@
+"""Claim 1: from a vertex permutation to the optimal labeling *for that order*.
+
+For a permutation ``π = (v_1, ..., v_n)``, the minimum-span labeling among
+those non-decreasing along ``π`` is exactly the prefix sums of the path-edge
+weights:  ``l(v_i) = Σ_{t<i} w(v_t, v_{t+1})``.  Its span is the path weight
+of ``π`` in ``H`` — so minimizing over ``π`` *is* Path TSP.
+
+The proof needs both reduction preconditions:
+
+* every weight >= ``p_min``  (consecutive labels move forward enough), and
+* every weight <= ``2 p_min`` (a non-consecutive constraint can never bind
+  once the consecutive one is satisfied: ``w_{i-1,i} - w_{j,i} >= -p_min``).
+
+This module is therefore only called on :class:`ReducedInstance` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.labeling.labeling import Labeling
+from repro.reduction.to_tsp import ReducedInstance
+
+
+def labeling_from_order(red: ReducedInstance, order: Sequence[int]) -> Labeling:
+    """The prefix-sum labeling realizing ``λ_p(G, π)`` for ``π = order``.
+
+    >>> from repro.graphs.generators import path_graph
+    >>> from repro.labeling.spec import L21
+    >>> from repro.reduction.to_tsp import reduce_to_path_tsp
+    >>> red = reduce_to_path_tsp(path_graph(2), L21)
+    >>> labeling_from_order(red, (0, 1)).labels
+    (0, 2)
+    """
+    n = red.n
+    idx = np.asarray(order, dtype=np.intp)
+    if sorted(idx.tolist()) != list(range(n)):
+        raise SolverError("order must be a permutation of the vertices")
+    labels = np.zeros(n, dtype=np.int64)
+    if n >= 2:
+        w = red.instance.weights
+        steps = w[idx[:-1], idx[1:]].astype(np.int64)  # weights are integer p's
+        labels[idx[1:]] = np.cumsum(steps)
+    return Labeling(tuple(int(x) for x in labels))
+
+
+def span_for_order(red: ReducedInstance, order: Sequence[int]) -> int:
+    """``λ_p(G, π)`` — equals the path length of ``π`` in ``H`` (Claim 1)."""
+    return int(round(red.instance.path_length(list(order))))

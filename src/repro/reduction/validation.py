@@ -1,0 +1,86 @@
+"""Theorem 2 applicability: connected, ``diam(G) <= k``, ``p_max <= 2 p_min``.
+
+The reduction is *only* correct under these preconditions (the paper's
+Claim 1 uses both inequalities), so the solver refuses loudly instead of
+returning silently-wrong answers when they fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReductionNotApplicableError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
+from repro.labeling.spec import LpSpec
+
+
+@dataclass(frozen=True)
+class ApplicabilityReport:
+    """Outcome of the precondition check, with the reusable distance matrix."""
+
+    connected: bool
+    diameter: int | None          # None when disconnected
+    k: int
+    pmin: int
+    pmax: int
+    distances: np.ndarray
+
+    @property
+    def diameter_ok(self) -> bool:
+        return self.diameter is not None and self.diameter <= self.k
+
+    @property
+    def weights_ok(self) -> bool:
+        return self.pmin >= 1 and self.pmax <= 2 * self.pmin
+
+    @property
+    def applicable(self) -> bool:
+        return self.connected and self.diameter_ok and self.weights_ok
+
+    def reason(self) -> str:
+        """Human-readable explanation of the first failing precondition."""
+        if not self.connected:
+            return "graph is disconnected"
+        if not self.diameter_ok:
+            return f"diam(G) = {self.diameter} exceeds k = {self.k}"
+        if not self.weights_ok:
+            return (
+                f"p_max = {self.pmax} > 2 * p_min = {2 * self.pmin}"
+                if self.pmin >= 1
+                else f"p_min = {self.pmin} must be >= 1"
+            )
+        return "applicable"
+
+
+def analyze(graph: Graph, spec: LpSpec) -> ApplicabilityReport:
+    """Compute the report (one APSP pass; matrix is reused by the reduction)."""
+    dist = all_pairs_distances(graph)
+    off_diag = dist[~np.eye(max(graph.n, 1), dtype=bool)] if graph.n else dist
+    connected = graph.n <= 1 or bool(np.all(off_diag != UNREACHABLE))
+    diam = int(dist.max()) if connected and graph.n > 1 else (0 if connected else None)
+    return ApplicabilityReport(
+        connected=connected,
+        diameter=diam,
+        k=spec.k,
+        pmin=spec.pmin,
+        pmax=spec.pmax,
+        distances=dist,
+    )
+
+
+def is_applicable(graph: Graph, spec: LpSpec) -> bool:
+    """True iff Theorem 2's preconditions hold for ``(G, p)``."""
+    return analyze(graph, spec).applicable
+
+
+def check_applicable(graph: Graph, spec: LpSpec) -> ApplicabilityReport:
+    """Return the report, raising :class:`ReductionNotApplicableError` if bad."""
+    report = analyze(graph, spec)
+    if not report.applicable:
+        raise ReductionNotApplicableError(
+            f"Theorem 2 reduction not applicable: {report.reason()}"
+        )
+    return report

@@ -1,0 +1,158 @@
+"""Dynamic frequency-assignment sessions.
+
+The paper's motivating application is radio-frequency assignment; real
+deployments change — transmitters come online, links appear as power is
+raised.  :class:`LabelingSession` wraps the solver with mutate-and-resolve
+semantics and keeps the assignment history, so the examples (and downstream
+users) can model a living network instead of a frozen graph.
+
+Re-solving is from scratch (the reduction is ``O(nm)`` and the engines are
+the cost anyway); the session's value is bookkeeping: it re-validates after
+every mutation, records span trajectories, and reports which vertices'
+frequencies changed between assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError, ReductionNotApplicableError
+from repro.graphs.graph import Graph
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import LpSpec
+from repro.reduction.solver import SolveResult, solve_labeling
+from repro.reduction.validation import analyze
+
+
+@dataclass(frozen=True)
+class AssignmentDelta:
+    """What changed between two consecutive assignments."""
+
+    span_before: int
+    span_after: int
+    relabeled: tuple[int, ...]   # vertices whose label changed
+
+    @property
+    def span_change(self) -> int:
+        return self.span_after - self.span_before
+
+
+class LabelingSession:
+    """A mutable labeling workspace bound to one spec and engine.
+
+    >>> from repro.labeling.spec import L21
+    >>> from repro.graphs.generators import complete_graph
+    >>> s = LabelingSession(complete_graph(3), L21, engine="held_karp")
+    >>> s.span
+    4
+    >>> v = s.add_vertex(connect_to=[0, 1, 2])   # grow the clique
+    >>> s.span
+    6
+    >>> len(s.history)
+    2
+    """
+
+    def __init__(self, graph: Graph, spec: LpSpec, engine: str = "auto"):
+        self._graph = graph.copy()
+        self.spec = spec
+        self.engine = engine
+        self._history: list[SolveResult] = []
+        self._resolve()
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """A copy of the current graph (the session owns its own)."""
+        return self._graph.copy()
+
+    @property
+    def current(self) -> SolveResult:
+        return self._history[-1]
+
+    @property
+    def labeling(self) -> Labeling:
+        return self.current.labeling
+
+    @property
+    def span(self) -> int:
+        return self.current.span
+
+    @property
+    def history(self) -> list[SolveResult]:
+        return list(self._history)
+
+    def span_trajectory(self) -> list[int]:
+        """Span after each mutation (index 0 = initial solve)."""
+        return [r.span for r in self._history]
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, connect_to: list[int] | None = None) -> int:
+        """Add a transmitter, optionally with initial interference links.
+
+        Returns the new vertex id.  Raises (and rolls back) if the grown
+        network violates the reduction's preconditions.
+        """
+        trial = self._graph.copy()
+        v = trial.add_vertex()
+        for u in connect_to or []:
+            trial.add_edge(u, v)
+        self._commit(trial)
+        return v
+
+    def add_edge(self, u: int, v: int) -> AssignmentDelta:
+        """Add an interference link and re-solve."""
+        trial = self._graph.copy()
+        trial.add_edge(u, v)
+        return self._commit(trial)
+
+    def remove_edge(self, u: int, v: int) -> AssignmentDelta:
+        """Drop an interference link and re-solve.
+
+        Removing edges can *increase* distances, so the diameter
+        precondition is re-checked like any other mutation.
+        """
+        trial = self._graph.copy()
+        trial.remove_edge(u, v)
+        return self._commit(trial)
+
+    # ------------------------------------------------------------------
+    def _commit(self, trial: Graph) -> AssignmentDelta:
+        report = analyze(trial, self.spec)
+        if not report.applicable:
+            raise ReductionNotApplicableError(
+                f"mutation rejected: {report.reason()} (session rolled back)"
+            )
+        before = self.current if self._history else None
+        self._graph = trial
+        self._resolve()
+        if before is None:
+            return AssignmentDelta(self.span, self.span, ())
+        old = before.labeling.labels
+        new = self.current.labeling.labels
+        common = min(len(old), len(new))
+        relabeled = tuple(
+            v for v in range(common) if old[v] != new[v]
+        ) + tuple(range(common, len(new)))
+        return AssignmentDelta(before.span, self.span, relabeled)
+
+    def _resolve(self) -> None:
+        result = solve_labeling(self._graph, self.spec, engine=self.engine)
+        self._history.append(result)
+
+
+def session_for_radio_network(
+    n: int, radius: float, spec: LpSpec, seed: int = 0, engine: str = "auto"
+) -> tuple[LabelingSession, "object"]:
+    """Convenience: a session over a random geometric deployment.
+
+    Returns ``(session, positions)``.  Raises if the deployment violates
+    the reduction preconditions (caller should densify or reseed).
+    """
+    from repro.graphs.generators import random_geometric_graph
+
+    graph, pos = random_geometric_graph(n, radius, seed=seed)
+    if not analyze(graph, spec).applicable:
+        raise GraphError(
+            "deployment not applicable (too sparse?); raise the radius"
+        )
+    return LabelingSession(graph, spec, engine=engine), pos

@@ -1,0 +1,152 @@
+"""Construction heuristics: nearest-neighbour, greedy-edge, insertions.
+
+These are the cheap tour builders whose outputs seed the local searches in
+:mod:`repro.tsp.local_search` and :mod:`repro.tsp.lin_kernighan` — the same
+pipeline structure practical TSP codes (LKH, Concorde's heuristics) use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import HamPath, Tour
+
+
+def nearest_neighbor_path(instance: TSPInstance, start: int = 0) -> HamPath:
+    """Grow a path by repeatedly hopping to the closest unvisited vertex.
+
+    ``O(n^2)`` with a NumPy masked argmin per step.
+    """
+    n = instance.n
+    if n == 0:
+        return HamPath((), 0.0)
+    if not (0 <= start < n):
+        raise ReproError(f"start vertex {start} out of range")
+    w = instance.weights
+    visited = np.zeros(n, dtype=bool)
+    order = [start]
+    visited[start] = True
+    cur = start
+    for _ in range(n - 1):
+        dist = np.where(visited, np.inf, w[cur])
+        cur = int(np.argmin(dist))
+        visited[cur] = True
+        order.append(cur)
+    return HamPath.from_order(instance, order)
+
+
+def best_nearest_neighbor_path(instance: TSPInstance) -> HamPath:
+    """Nearest-neighbour from every start vertex; keep the best path."""
+    best: HamPath | None = None
+    for s in range(max(instance.n, 1)):
+        cand = nearest_neighbor_path(instance, s if instance.n else 0)
+        if best is None or cand.length < best.length:
+            best = cand
+        if instance.n == 0:
+            break
+    assert best is not None or instance.n == 0
+    return best if best is not None else HamPath((), 0.0)
+
+
+def greedy_edge_path(instance: TSPInstance) -> HamPath:
+    """Greedy edge matching: add cheapest edges that keep a linear forest.
+
+    Sort all edges by weight; accept an edge when both endpoints still have
+    degree < 2 and it does not close a cycle (union-find); the accepted edges
+    form a Hamiltonian path after ``n - 1`` acceptances.
+    """
+    n = instance.n
+    if n == 0:
+        return HamPath((), 0.0)
+    if n == 1:
+        return HamPath((0,), 0.0)
+    w = instance.weights
+    iu, iv = np.triu_indices(n, k=1)
+    by_weight = np.argsort(w[iu, iv], kind="stable")
+
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    degree = [0] * n
+    adj: list[list[int]] = [[] for _ in range(n)]
+    accepted = 0
+    for e in by_weight:
+        u, v = int(iu[e]), int(iv[e])
+        if degree[u] >= 2 or degree[v] >= 2:
+            continue
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            continue
+        parent[ru] = rv
+        degree[u] += 1
+        degree[v] += 1
+        adj[u].append(v)
+        adj[v].append(u)
+        accepted += 1
+        if accepted == n - 1:
+            break
+    # walk the path from one endpoint
+    start = next(v for v in range(n) if degree[v] <= 1)
+    order = [start]
+    prev, cur = -1, start
+    while len(order) < n:
+        nxt = next(x for x in adj[cur] if x != prev)
+        order.append(nxt)
+        prev, cur = cur, nxt
+    return HamPath.from_order(instance, order)
+
+
+def cheapest_insertion_cycle(instance: TSPInstance) -> Tour:
+    """Cheapest-insertion tour construction (classic cycle heuristic)."""
+    return _insertion_cycle(instance, farthest=False)
+
+
+def farthest_insertion_cycle(instance: TSPInstance) -> Tour:
+    """Farthest-insertion tour construction (usually the better insertion)."""
+    return _insertion_cycle(instance, farthest=True)
+
+
+def _insertion_cycle(instance: TSPInstance, farthest: bool) -> Tour:
+    n = instance.n
+    if n == 0:
+        return Tour((), 0.0)
+    if n <= 2:
+        return Tour.from_order(instance, range(n))
+    w = instance.weights
+    # seed with the two closest (cheapest) or two farthest vertices
+    iu, iv = np.triu_indices(n, k=1)
+    seed_idx = int(np.argmax(w[iu, iv]) if farthest else np.argmin(w[iu, iv]))
+    a, b = int(iu[seed_idx]), int(iv[seed_idx])
+    cycle = [a, b]
+    in_cycle = np.zeros(n, dtype=bool)
+    in_cycle[[a, b]] = True
+    # dist_to_cycle[v] = min over cycle members of w[v, member]
+    dist_to_cycle = np.minimum(w[a], w[b])
+    dist_to_cycle[in_cycle] = -np.inf if farthest else np.inf
+
+    for _ in range(n - 2):
+        v = int(np.argmax(dist_to_cycle) if farthest else np.argmin(dist_to_cycle))
+        # insert v at the position minimizing the detour
+        best_pos, best_delta = 0, np.inf
+        for i in range(len(cycle)):
+            u1, u2 = cycle[i], cycle[(i + 1) % len(cycle)]
+            delta = w[u1, v] + w[v, u2] - w[u1, u2]
+            if delta < best_delta:
+                best_delta, best_pos = float(delta), i + 1
+        cycle.insert(best_pos, v)
+        in_cycle[v] = True
+        dist_to_cycle = np.minimum(dist_to_cycle, w[v])
+        dist_to_cycle[in_cycle] = -np.inf if farthest else np.inf
+    return Tour.from_order(instance, cycle)
+
+
+def cycle_to_path(instance: TSPInstance, tour: Tour) -> HamPath:
+    """Open a cycle into a path by removing its heaviest edge."""
+    return tour.to_path_dropping_heaviest_edge(instance)

@@ -1,0 +1,115 @@
+"""Eulerian circuits/trails on multigraphs, plus tour shortcutting.
+
+Christofides and its relatives build a connected multigraph with controlled
+vertex parities (MST edges + matching edges, possibly doubled), walk an
+Eulerian circuit/trail with Hierholzer's algorithm, then *shortcut* repeated
+vertices.  On metric instances shortcutting never increases the length —
+that is where the triangle inequality enters the 1.5 / 2 approximation
+proofs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ReproError
+
+
+class Multigraph:
+    """A tiny edge-multiset multigraph on integer vertices (for Euler walks)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.adj: dict[int, list[list]] = defaultdict(list)  # v -> [edge records]
+        self._edge_id = 0
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert one parallel edge ``{u, v}`` (multi-edges allowed)."""
+        record = [u, v, False]  # shared mutable "used" flag
+        self.adj[u].append(record)
+        self.adj[v].append(record)
+        self._edge_id += 1
+
+    @property
+    def m(self) -> int:
+        return self._edge_id
+
+    def degree(self, v: int) -> int:
+        """Multigraph degree (each parallel edge counts)."""
+        return len(self.adj[v])
+
+    def odd_vertices(self) -> list[int]:
+        """Vertices of odd degree, in id order."""
+        return [v for v in range(self.n) if self.degree(v) % 2 == 1]
+
+
+def eulerian_circuit(mg: Multigraph, start: int) -> list[int]:
+    """Hierholzer's algorithm; requires all degrees even and edges connected.
+
+    Returns the closed walk as a vertex list whose first == last vertex.
+    """
+    odd = mg.odd_vertices()
+    if odd:
+        raise ReproError(f"eulerian circuit needs even degrees; odd at {odd[:4]}")
+    return _hierholzer(mg, start)
+
+
+def eulerian_trail(mg: Multigraph, start: int | None = None) -> list[int]:
+    """Open Eulerian trail; requires exactly 0 or 2 odd-degree vertices.
+
+    With two odd vertices the trail must start at one of them (``start`` is
+    validated, or chosen automatically when ``None``).
+    """
+    odd = mg.odd_vertices()
+    if len(odd) == 0:
+        return _hierholzer(mg, start if start is not None else 0)
+    if len(odd) != 2:
+        raise ReproError(f"eulerian trail needs 0 or 2 odd vertices, found {len(odd)}")
+    if start is None:
+        start = odd[0]
+    elif start not in odd:
+        raise ReproError(f"trail must start at an odd vertex {odd}, got {start}")
+    return _hierholzer(mg, start)
+
+
+def _hierholzer(mg: Multigraph, start: int) -> list[int]:
+    if mg.m == 0:
+        return [start]
+    # iterative Hierholzer with per-vertex edge cursors
+    cursor: dict[int, int] = defaultdict(int)
+    stack = [start]
+    walk: list[int] = []
+    used_edges = 0
+    while stack:
+        v = stack[-1]
+        lst = mg.adj[v]
+        i = cursor[v]
+        while i < len(lst) and lst[i][2]:
+            i += 1
+        cursor[v] = i
+        if i == len(lst):
+            walk.append(stack.pop())
+        else:
+            rec = lst[i]
+            rec[2] = True
+            used_edges += 1
+            stack.append(rec[1] if rec[0] == v else rec[0])
+    if used_edges != mg.m:
+        raise ReproError("multigraph not connected on its edge set")
+    walk.reverse()
+    return walk
+
+
+def shortcut(walk: list[int]) -> list[int]:
+    """Drop repeated vertices from a walk, keeping first occurrences.
+
+    On a metric instance the resulting Hamiltonian order is no longer than
+    the walk (triangle inequality).
+    """
+    seen: set[int] = set()
+    out: list[int] = []
+    for v in walk:
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out

@@ -1,0 +1,123 @@
+"""Symmetric TSP instances backed by a dense NumPy weight matrix.
+
+The instances the Theorem-2 reduction emits are small-range metrics
+(all weights within ``[p_min, 2 p_min]``), so a dense matrix is the right
+representation: every solver in this package is array-shaped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotMetricError, ReproError
+
+
+class TSPInstance:
+    """A symmetric TSP instance on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    weights:
+        Square symmetric matrix with zero diagonal and non-negative entries.
+        A copy is taken and frozen (the array is marked read-only).
+    """
+
+    __slots__ = ("_w",)
+
+    def __init__(self, weights: np.ndarray) -> None:
+        w = np.array(weights, dtype=np.float64, copy=True)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ReproError(f"weight matrix must be square, got shape {w.shape}")
+        if not np.allclose(w, w.T):
+            raise ReproError("weight matrix must be symmetric")
+        if np.any(np.diagonal(w) != 0):
+            raise ReproError("weight matrix must have zero diagonal")
+        if np.any(w < 0):
+            raise ReproError("weights must be non-negative")
+        w.setflags(write=False)
+        self._w = w
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._w.shape[0]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The (read-only) weight matrix."""
+        return self._w
+
+    def weight(self, u: int, v: int) -> float:
+        """The edge weight ``w(u, v)`` as a Python float."""
+        return float(self._w[u, v])
+
+    # ------------------------------------------------------------------
+    def path_length(self, order: Sequence[int]) -> float:
+        """Total weight of the Hamiltonian path visiting ``order``."""
+        idx = np.asarray(order, dtype=np.intp)
+        if len(idx) <= 1:
+            return 0.0
+        return float(self._w[idx[:-1], idx[1:]].sum())
+
+    def cycle_length(self, order: Sequence[int]) -> float:
+        """Total weight of the closed tour visiting ``order`` then returning."""
+        idx = np.asarray(order, dtype=np.intp)
+        if len(idx) <= 1:
+            return 0.0
+        return float(self._w[idx, np.roll(idx, -1)].sum())
+
+    # ------------------------------------------------------------------
+    def is_metric(self, atol: float = 1e-9) -> bool:
+        """Check the triangle inequality ``w(i,k) <= w(i,j) + w(j,k)``.
+
+        Vectorized ``O(n^3)`` check via broadcasting — only used on entry to
+        algorithms whose guarantees need metricity.
+        """
+        w = self._w
+        # through[j] contribution: w[i,j,None] + w[None,j,k]
+        through = w[:, :, None] + w[None, :, :]  # (i, j, k)
+        best = through.min(axis=1)  # cheapest one-stop route i -> k
+        return bool(np.all(w <= best + atol))
+
+    def require_metric(self) -> None:
+        """Raise :class:`NotMetricError` unless the triangle inequality holds."""
+        if not self.is_metric():
+            raise NotMetricError("instance violates the triangle inequality")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_metric(
+        cls, n: int, seed: int | np.random.Generator | None = None
+    ) -> "TSPInstance":
+        """Random Euclidean-plane metric instance (always metric)."""
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        pts = rng.random((n, 2))
+        diff = pts[:, None, :] - pts[None, :, :]
+        return cls(np.sqrt((diff**2).sum(axis=2)))
+
+    @classmethod
+    def random_two_valued(
+        cls,
+        n: int,
+        low: float,
+        high: float,
+        p_low: float = 0.5,
+        seed: int | np.random.Generator | None = None,
+    ) -> "TSPInstance":
+        """Random instance with two weight values (metric iff high <= 2*low).
+
+        This is exactly the structure Corollary 2 produces for diameter-2
+        graphs.
+        """
+        if low <= 0 or high < low:
+            raise ReproError("need 0 < low <= high")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        w = np.where(rng.random((n, n)) < p_low, low, high)
+        w = np.triu(w, k=1)
+        w = w + w.T
+        return cls(w)
+
+    def __repr__(self) -> str:
+        return f"TSPInstance(n={self.n})"

@@ -1,0 +1,78 @@
+"""Value objects for solver outputs: Hamiltonian paths and closed tours."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import SolverError
+from repro.tsp.instance import TSPInstance
+
+
+def _check_permutation(order: Sequence[int], n: int) -> tuple[int, ...]:
+    t = tuple(int(v) for v in order)
+    if sorted(t) != list(range(n)):
+        raise SolverError(f"order {t!r} is not a permutation of 0..{n - 1}")
+    return t
+
+
+@dataclass(frozen=True)
+class HamPath:
+    """A Hamiltonian path: a vertex permutation plus its total weight."""
+
+    order: tuple[int, ...]
+    length: float
+
+    @classmethod
+    def from_order(cls, instance: TSPInstance, order: Sequence[int]) -> "HamPath":
+        t = _check_permutation(order, instance.n)
+        return cls(t, instance.path_length(t))
+
+    def reversed(self) -> "HamPath":
+        """The same path walked end-to-start (same length)."""
+        return HamPath(tuple(reversed(self.order)), self.length)
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        if not self.order:
+            raise SolverError("empty path has no endpoints")
+        return self.order[0], self.order[-1]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+@dataclass(frozen=True)
+class Tour:
+    """A closed tour: a vertex permutation (implicitly closed) plus weight."""
+
+    order: tuple[int, ...]
+    length: float
+
+    @classmethod
+    def from_order(cls, instance: TSPInstance, order: Sequence[int]) -> "Tour":
+        t = _check_permutation(order, instance.n)
+        return cls(t, instance.cycle_length(t))
+
+    def to_path_dropping_heaviest_edge(self, instance: TSPInstance) -> HamPath:
+        """Open the tour at its heaviest edge — a standard cycle→path move."""
+        if len(self.order) <= 1:
+            return HamPath(self.order, 0.0)
+        w = instance.weights
+        n = len(self.order)
+        heaviest, at = -1.0, 0
+        for i in range(n):
+            u, v = self.order[i], self.order[(i + 1) % n]
+            if w[u, v] > heaviest:
+                heaviest, at = float(w[u, v]), i
+        order = self.order[at + 1 :] + self.order[: at + 1]
+        return HamPath.from_order(instance, order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)

@@ -1,0 +1,153 @@
+"""TSPLIB interchange: write/read reduced instances for external solvers.
+
+The paper's practical proposal is to hand the reduced instance to Concorde
+or LKH.  Those codes speak TSPLIB; this module writes the reduction's dense
+weight matrix in ``EXPLICIT / FULL_MATRIX`` form (weights are small
+integers, so the format is exact) and reads tour files back, closing the
+loop:  ``reduce -> write_tsplib -> external solver -> read_tour ->
+labeling_from_order``.
+
+The round-trip is tested in-repo against our own engines; running an actual
+external binary is out of scope (offline), but the files produced here are
+byte-level valid TSPLIB.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tsp.instance import TSPInstance
+
+
+def write_tsplib(
+    instance: TSPInstance,
+    target: TextIO | str | Path,
+    name: str = "repro_reduction",
+    comment: str = "L(p)-labeling reduction (arXiv:2303.01290)",
+) -> None:
+    """Write the instance as a TSPLIB ``EXPLICIT FULL_MATRIX`` TSP file.
+
+    Weights must be integral (the reduction always produces integers).
+    """
+    w = instance.weights
+    if not np.allclose(w, np.round(w)):
+        raise ReproError("TSPLIB explicit export needs integral weights")
+    own, fh = _open(target, "w")
+    try:
+        fh.write(f"NAME: {name}\n")
+        fh.write("TYPE: TSP\n")
+        fh.write(f"COMMENT: {comment}\n")
+        fh.write(f"DIMENSION: {instance.n}\n")
+        fh.write("EDGE_WEIGHT_TYPE: EXPLICIT\n")
+        fh.write("EDGE_WEIGHT_FORMAT: FULL_MATRIX\n")
+        fh.write("EDGE_WEIGHT_SECTION\n")
+        ints = np.round(w).astype(np.int64)
+        for row in ints:
+            fh.write(" ".join(str(int(x)) for x in row) + "\n")
+        fh.write("EOF\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_tsplib(source: TextIO | str | Path) -> TSPInstance:
+    """Read an ``EXPLICIT FULL_MATRIX`` TSPLIB file back into an instance."""
+    own, fh = _open(source, "r")
+    try:
+        dimension: int | None = None
+        fmt: str | None = None
+        rows: list[int] = []
+        in_weights = False
+        for raw in fh:
+            line = raw.strip()
+            if not line or line == "EOF":
+                if line == "EOF":
+                    break
+                continue
+            if in_weights:
+                rows.extend(int(tok) for tok in line.split())
+                continue
+            if ":" in line:
+                key, _, value = line.partition(":")
+                key = key.strip().upper()
+                value = value.strip()
+                if key == "DIMENSION":
+                    dimension = int(value)
+                elif key == "EDGE_WEIGHT_FORMAT":
+                    fmt = value.upper()
+                elif key == "EDGE_WEIGHT_TYPE" and value.upper() != "EXPLICIT":
+                    raise ReproError(
+                        f"only EXPLICIT weights supported, got {value}"
+                    )
+            elif line.upper().startswith("EDGE_WEIGHT_SECTION"):
+                in_weights = True
+        if dimension is None:
+            raise ReproError("TSPLIB file missing DIMENSION")
+        if fmt != "FULL_MATRIX":
+            raise ReproError(f"only FULL_MATRIX supported, got {fmt}")
+        if len(rows) != dimension * dimension:
+            raise ReproError(
+                f"weight section has {len(rows)} entries, "
+                f"expected {dimension * dimension}"
+            )
+        w = np.asarray(rows, dtype=np.float64).reshape(dimension, dimension)
+        return TSPInstance(w)
+    finally:
+        if own:
+            fh.close()
+
+
+def write_tour(
+    order: Sequence[int], target: TextIO | str | Path, name: str = "repro_tour"
+) -> None:
+    """Write a TSPLIB ``.tour`` file (1-based vertices, -1 terminator)."""
+    own, fh = _open(target, "w")
+    try:
+        fh.write(f"NAME: {name}\n")
+        fh.write("TYPE: TOUR\n")
+        fh.write(f"DIMENSION: {len(order)}\n")
+        fh.write("TOUR_SECTION\n")
+        for v in order:
+            fh.write(f"{int(v) + 1}\n")
+        fh.write("-1\nEOF\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_tour(source: TextIO | str | Path) -> list[int]:
+    """Read a TSPLIB ``.tour`` file into a 0-based vertex list."""
+    own, fh = _open(source, "r")
+    try:
+        order: list[int] = []
+        in_tour = False
+        for raw in fh:
+            line = raw.strip()
+            if line.upper().startswith("TOUR_SECTION"):
+                in_tour = True
+                continue
+            if not in_tour:
+                continue
+            for tok in line.split():
+                val = int(tok)
+                if val == -1:
+                    return order
+                order.append(val - 1)
+            if line == "EOF":
+                break
+        if not order:
+            raise ReproError("tour file had no TOUR_SECTION entries")
+        return order
+    finally:
+        if own:
+            fh.close()
+
+
+def _open(target: TextIO | str | Path, mode: str) -> tuple[bool, TextIO]:
+    if isinstance(target, (str, Path)):
+        return True, open(target, mode, encoding="utf-8")
+    return False, target

@@ -1,0 +1,96 @@
+"""Failure injection: the verification layer must catch broken engines.
+
+The solver facade re-verifies every labeling against the original graph; we
+inject deliberately-broken engines and malformed data to prove those nets
+actually catch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SolverError
+from repro.graphs import generators as gen
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import L21
+from repro.reduction.from_tour import labeling_from_order
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.tsp import portfolio
+from repro.tsp.tour import HamPath
+
+
+class TestBrokenEngineCaught:
+    def test_non_permutation_path_rejected(self):
+        """An engine that returns a repeated vertex must be caught."""
+        g = gen.petersen_graph()
+        red = reduce_to_path_tsp(g, L21)
+        with pytest.raises(SolverError):
+            labeling_from_order(red, [0] * g.n)
+
+    def test_engine_with_wrong_length_metadata(self, monkeypatch):
+        """An engine lying about its path length trips the span assert."""
+        from repro.reduction import solver as solver_mod
+
+        def lying_engine(inst):
+            order = tuple(range(inst.n))
+            return HamPath(order, 0.0)  # wrong length on purpose
+
+        monkeypatch.setitem(portfolio.ENGINES, "liar", lying_engine)
+        g = gen.petersen_graph()
+        with pytest.raises(AssertionError):
+            solver_mod.solve_labeling(g, L21, engine="liar")
+
+    def test_engine_returning_partial_path(self, monkeypatch):
+        def partial_engine(inst):
+            return HamPath(tuple(range(inst.n - 1)), 1.0)
+
+        monkeypatch.setitem(portfolio.ENGINES, "partial", partial_engine)
+        g = gen.petersen_graph()
+        from repro.reduction.solver import solve_labeling
+        with pytest.raises(SolverError):
+            solve_labeling(g, L21, engine="partial")
+
+
+class TestLabelingNets:
+    def test_require_feasible_lists_violations(self):
+        g = gen.path_graph(4)
+        bad = Labeling((0, 0, 0, 0))
+        with pytest.raises(ReproError) as exc:
+            bad.require_feasible(g, L21)
+        assert "violations" in str(exc.value)
+
+    def test_labels_must_cover_graph(self):
+        g = gen.path_graph(4)
+        with pytest.raises(ReproError):
+            Labeling((0, 2)).require_feasible(g, L21)
+
+
+class TestInstanceNets:
+    def test_nan_weights_rejected(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = np.nan
+        from repro.tsp.instance import TSPInstance
+        with pytest.raises(ReproError):
+            # NaN breaks symmetry comparison -> rejected at construction
+            TSPInstance(w)
+
+    def test_reduction_rejects_quietly_modified_spec(self):
+        """Frozen dataclass: mutating a spec after creation must fail."""
+        from repro.labeling.spec import LpSpec
+        spec = LpSpec((2, 1))
+        with pytest.raises(AttributeError):
+            spec.p = (5, 1)  # type: ignore[misc]
+
+    def test_graph_mutation_after_reduction_detected(self):
+        """Mutating G after reducing makes the old labeling re-check fail."""
+        g = gen.cycle_graph(5)
+        red = reduce_to_path_tsp(g, L21)
+        from repro.tsp.held_karp import held_karp_path
+        path = held_karp_path(red.instance)
+        lab = labeling_from_order(red, path.order)
+        assert lab.is_feasible(g, L21)
+        # densify: C5 + all chords turns distance-2 pairs into edges
+        for u in range(5):
+            for v in range(u + 1, 5):
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v)
+        assert not lab.is_feasible(g, L21)

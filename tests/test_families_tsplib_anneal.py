@@ -1,0 +1,181 @@
+"""Tests for structured families, TSPLIB interop and the annealing engine."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError, ReproError
+from repro.graphs import generators as gen
+from repro.graphs.families import (
+    barbell_graph,
+    circulant_graph,
+    kneser_graph,
+    lollipop_graph,
+    paley_graph,
+    turan_graph,
+)
+from repro.graphs.operations import complement
+from repro.graphs.traversal import diameter, is_connected
+from repro.labeling.spec import L21
+from repro.reduction.solver import solve_labeling
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.tsp.annealing import simulated_annealing_path
+from repro.tsp.held_karp import held_karp_path
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tsplib import read_tour, read_tsplib, write_tour, write_tsplib
+
+
+class TestFamilies:
+    def test_circulant_cycle(self):
+        assert circulant_graph(6, [1]) == gen.cycle_graph(6)
+
+    def test_circulant_complete(self):
+        assert circulant_graph(5, [1, 2]).is_complete()
+
+    def test_circulant_regular(self):
+        g = circulant_graph(10, [1, 3])
+        assert all(d == 4 for d in g.degrees())
+
+    def test_circulant_bad_connection(self):
+        with pytest.raises(GraphError):
+            circulant_graph(4, [4, 8])
+
+    @pytest.mark.parametrize("q", [5, 13, 17])
+    def test_paley_properties(self, q):
+        g = paley_graph(q)
+        # self-complementary and (q-1)/2-regular with diameter 2
+        assert all(d == (q - 1) // 2 for d in g.degrees())
+        assert diameter(g) == 2
+        assert g.m == complement(g).m
+
+    def test_paley_rejects_bad_q(self):
+        with pytest.raises(GraphError):
+            paley_graph(7)   # 7 % 4 != 1
+        with pytest.raises(GraphError):
+            paley_graph(9)   # not prime
+
+    def test_turan(self):
+        g = turan_graph(10, 3)
+        assert g.n == 10 and diameter(g) == 2
+        # T(10,3) parts 4,3,3 -> m = 4*3 + 4*3 + 3*3
+        assert g.m == 12 + 12 + 9
+
+    def test_turan_complete_case(self):
+        assert turan_graph(5, 5).is_complete()
+
+    def test_kneser_petersen_isomorphic_stats(self):
+        g = kneser_graph(5, 2)
+        p = gen.petersen_graph()
+        assert (g.n, g.m) == (p.n, p.m)
+        assert sorted(g.degrees()) == sorted(p.degrees())
+        assert diameter(g) == 2
+
+    def test_kneser_domain(self):
+        with pytest.raises(GraphError):
+            kneser_graph(4, 3)
+
+    def test_barbell_lollipop(self):
+        b = barbell_graph(4, 2)
+        assert b.n == 10 and is_connected(b)
+        assert diameter(b) > 2  # negative control for the reduction
+        lol = lollipop_graph(5, 3)
+        assert lol.n == 8 and is_connected(lol)
+
+    def test_paley_through_pipeline(self):
+        g = paley_graph(13)
+        r = solve_labeling(g, L21, engine="held_karp")
+        assert r.labeling.is_feasible(g, L21)
+        # diam-2, so all labels distinct: span >= n-1
+        assert r.span >= 12
+
+    def test_turan_through_partition_route(self):
+        from repro.partition.diameter2 import solve_lpq_diameter2
+        g = turan_graph(9, 3)
+        r = solve_lpq_diameter2(g, L21, method="exact")
+        assert r.path_count == 3  # complement = 3 disjoint triangles
+
+
+class TestTsplib:
+    def test_instance_roundtrip(self):
+        g = gen.random_graph_with_diameter_at_most(9, 2, seed=0)
+        inst = reduce_to_path_tsp(g, L21).instance
+        buf = io.StringIO()
+        write_tsplib(inst, buf)
+        back = read_tsplib(io.StringIO(buf.getvalue()))
+        assert (back.weights == inst.weights).all()
+
+    def test_file_roundtrip(self, tmp_path):
+        inst = reduce_to_path_tsp(gen.petersen_graph(), L21).instance
+        p = tmp_path / "petersen.tsp"
+        write_tsplib(inst, p)
+        assert (read_tsplib(p).weights == inst.weights).all()
+
+    def test_non_integral_rejected(self):
+        inst = TSPInstance.random_metric(4, seed=0)
+        with pytest.raises(ReproError):
+            write_tsplib(inst, io.StringIO())
+
+    def test_tour_roundtrip(self, tmp_path):
+        order = [3, 0, 2, 1]
+        p = tmp_path / "t.tour"
+        write_tour(order, p)
+        assert read_tour(p) == order
+
+    def test_tour_missing_section(self):
+        with pytest.raises(ReproError):
+            read_tour(io.StringIO("NAME: x\nEOF\n"))
+
+    def test_bad_tsplib_headers(self):
+        with pytest.raises(ReproError):
+            read_tsplib(io.StringIO("DIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\n"))
+        with pytest.raises(ReproError):
+            read_tsplib(io.StringIO(
+                "DIMENSION: 2\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+                "EDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n0\nEOF\n"
+            ))
+
+    def test_external_solver_loop_simulated(self, tmp_path):
+        """The full interop loop with our own engine standing in for LKH."""
+        from repro.reduction.from_tour import labeling_from_order
+        g = gen.random_graph_with_diameter_at_most(10, 2, seed=1)
+        red = reduce_to_path_tsp(g, L21)
+        tsp_file = tmp_path / "inst.tsp"
+        write_tsplib(red.instance, tsp_file)
+        # "external" solver: read the file, solve, write a tour file
+        ext_inst = read_tsplib(tsp_file)
+        path = held_karp_path(ext_inst)
+        tour_file = tmp_path / "out.tour"
+        write_tour(path.order, tour_file)
+        # back on our side: read the tour, rebuild the labeling
+        order = read_tour(tour_file)
+        lab = labeling_from_order(red, order)
+        assert lab.is_feasible(g, L21)
+        assert lab.span == solve_labeling(g, L21, engine="held_karp").span
+
+
+class TestAnnealing:
+    def test_valid_and_deterministic(self):
+        inst = TSPInstance.random_metric(15, seed=0)
+        a = simulated_annealing_path(inst, seed=7)
+        b = simulated_annealing_path(inst, seed=7)
+        assert a.order == b.order
+        assert sorted(a.order) == list(range(15))
+
+    def test_near_optimal_small(self):
+        for seed in range(4):
+            inst = TSPInstance.random_metric(10, seed=seed)
+            sa = simulated_annealing_path(inst, seed=0)
+            opt = held_karp_path(inst).length
+            assert sa.length <= 1.15 * opt + 1e-9
+
+    def test_tiny_instances(self):
+        for n in (1, 2, 3):
+            inst = TSPInstance.random_metric(n, seed=0)
+            assert sorted(simulated_annealing_path(inst).order) == list(range(n))
+
+    def test_registered_engine(self):
+        from repro.tsp.portfolio import ENGINES
+        assert "anneal" in ENGINES
+        g = gen.random_graph_with_diameter_at_most(12, 2, seed=2)
+        r = solve_labeling(g, L21, engine="anneal")
+        assert r.labeling.is_feasible(g, L21)

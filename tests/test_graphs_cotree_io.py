@@ -1,0 +1,110 @@
+"""Cotree/cograph and IO tests."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.cotree import (
+    Cotree,
+    is_cograph,
+    join_node,
+    leaf,
+    random_cograph,
+    random_connected_cograph,
+    random_cotree,
+    union_node,
+)
+from repro.graphs.io import (
+    from_edge_list_string,
+    read_dimacs,
+    read_edge_list,
+    to_edge_list_string,
+    write_dimacs,
+    write_edge_list,
+)
+from repro.graphs.traversal import is_connected
+
+
+class TestCotree:
+    def test_leaf_graph(self):
+        assert leaf().to_graph().n == 1
+
+    def test_join_of_leaves_is_complete(self):
+        t = join_node(leaf(), leaf(), leaf())
+        assert t.to_graph().is_complete()
+
+    def test_union_of_leaves_is_empty(self):
+        t = union_node(leaf(), leaf(), leaf())
+        assert t.to_graph().m == 0
+
+    def test_p4_free_recognition(self):
+        assert not is_cograph(gen.path_graph(4))
+        assert is_cograph(gen.path_graph(3))
+        assert is_cograph(gen.complete_graph(5))
+        assert is_cograph(gen.complete_bipartite_graph(3, 4))
+        assert not is_cograph(gen.cycle_graph(5))
+
+    def test_random_cographs_are_cographs(self):
+        for s in range(8):
+            g = random_cograph(11, seed=s)
+            assert g.n == 11
+            assert is_cograph(g)
+
+    def test_random_connected_cograph_connected(self):
+        for s in range(5):
+            g = random_connected_cograph(9, seed=s)
+            assert is_connected(g) and is_cograph(g)
+
+    def test_cotree_n_leaves(self):
+        t = random_cotree(13, seed=0)
+        assert t.n_leaves == 13
+
+    def test_internal_node_needs_children(self):
+        with pytest.raises(GraphError):
+            Cotree("join", (leaf(),))
+
+    def test_leaf_cannot_have_children(self):
+        with pytest.raises(GraphError):
+            Cotree("leaf", (leaf(),))
+
+
+class TestEdgeListIO:
+    def test_roundtrip_string(self, small_graph_zoo):
+        for g in small_graph_zoo:
+            assert from_edge_list_string(to_edge_list_string(g)) == g
+
+    def test_roundtrip_file(self, tmp_path):
+        g = gen.petersen_graph()
+        p = tmp_path / "g.edges"
+        write_edge_list(g, p)
+        assert read_edge_list(p) == g
+
+    def test_bad_header(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("3\n"))
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("3 2\n0 1\n"))
+
+
+class TestDimacsIO:
+    def test_roundtrip(self, tmp_path):
+        g = gen.cycle_graph(5)
+        p = tmp_path / "g.col"
+        write_dimacs(g, p, comment="five cycle\nsecond line")
+        assert read_dimacs(p) == g
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphError):
+            read_dimacs(io.StringIO("e 1 2\n"))
+
+    def test_unknown_line(self):
+        with pytest.raises(GraphError):
+            read_dimacs(io.StringIO("p edge 2 1\nx 1 2\n"))
+
+    def test_comments_ignored(self):
+        g = read_dimacs(io.StringIO("c hello\np edge 3 1\ne 1 3\n"))
+        assert g.has_edge(0, 2) and g.m == 1

@@ -1,0 +1,152 @@
+"""Generator invariants: sizes, degrees, connectivity, diameter bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.traversal import diameter, is_connected
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = gen.path_graph(6)
+        assert (g.n, g.m) == (6, 5)
+        assert g.degrees() == [1, 2, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert all(d == 2 for d in g.degrees())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.m == 15 and g.is_complete()
+
+    def test_star(self):
+        g = gen.star_graph(7)
+        assert g.degree(0) == 7
+        assert sorted(g.degrees()) == [1] * 7 + [7]
+
+    def test_wheel(self):
+        g = gen.wheel_graph(6)
+        assert (g.n, g.m) == (7, 12)
+        assert g.degree(0) == 6
+        assert diameter(g) == 2
+
+    def test_wheel_too_small(self):
+        with pytest.raises(GraphError):
+            gen.wheel_graph(2)
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite_graph(3, 4)
+        assert (g.n, g.m) == (7, 12)
+        assert diameter(g) == 2
+
+    def test_complete_multipartite(self):
+        g = gen.complete_multipartite_graph([2, 3, 4])
+        assert g.n == 9
+        assert g.m == 2 * 3 + 2 * 4 + 3 * 4
+
+    def test_cluster_graph(self):
+        g = gen.cluster_graph([3, 2])
+        assert (g.n, g.m) == (5, 4)
+        assert not is_connected(g)
+
+    def test_grid(self):
+        g = gen.grid_graph(3, 4)
+        assert (g.n, g.m) == (12, 3 * 3 + 4 * 2)
+        assert diameter(g) == 5
+
+    def test_hypercube(self):
+        g = gen.hypercube_graph(4)
+        assert (g.n, g.m) == (16, 32)
+        assert all(d == 4 for d in g.degrees())
+
+    def test_petersen(self):
+        g = gen.petersen_graph()
+        assert (g.n, g.m) == (10, 15)
+        assert all(d == 3 for d in g.degrees())
+        assert diameter(g) == 2
+
+    def test_caterpillar(self):
+        g = gen.caterpillar_graph(4, 2)
+        assert g.n == 4 + 8
+        assert g.m == g.n - 1 and is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self):
+        a = gen.random_gnp(12, 0.5, seed=3)
+        b = gen.random_gnp(12, 0.5, seed=3)
+        assert a == b
+
+    def test_gnp_extremes(self):
+        assert gen.random_gnp(8, 0.0, seed=0).m == 0
+        assert gen.random_gnp(8, 1.0, seed=0).is_complete()
+
+    def test_gnp_bad_probability(self):
+        with pytest.raises(GraphError):
+            gen.random_gnp(5, 1.5)
+
+    def test_connected_gnp_is_connected(self):
+        for s in range(5):
+            assert is_connected(gen.random_connected_gnp(15, 0.15, seed=s))
+
+    def test_random_tree(self):
+        for s in range(5):
+            t = gen.random_tree(10, seed=s)
+            assert t.m == 9 and is_connected(t)
+
+    def test_tree_from_prufer_known(self):
+        # Prufer (3, 3, 3, 4) -> star-ish tree on 6 vertices
+        t = gen.tree_from_prufer([3, 3, 3, 4])
+        assert t.m == 5
+        assert t.degree(3) == 4
+
+    def test_tree_from_prufer_invalid_symbol(self):
+        with pytest.raises(GraphError):
+            gen.tree_from_prufer([7])
+
+    def test_diameter_bounded(self):
+        for s in range(6):
+            g = gen.random_graph_with_diameter_at_most(14, 2, seed=s)
+            assert is_connected(g) and diameter(g) <= 2
+        g3 = gen.random_graph_with_diameter_at_most(14, 3, seed=0)
+        assert diameter(g3) <= 3
+
+    def test_diameter_bound_one_gives_complete(self):
+        assert gen.random_graph_with_diameter_at_most(6, 1, seed=0).is_complete()
+
+    def test_geometric(self):
+        g, pos = gen.random_geometric_graph(20, 0.5, seed=1)
+        assert g.n == 20 and pos.shape == (20, 2)
+        assert is_connected(g)
+        # edges respect the radius
+        for u, v in g.edges():
+            assert np.sum((pos[u] - pos[v]) ** 2) <= 0.25 + 1e-12
+
+    def test_split_graph_structure(self):
+        g = gen.random_split_graph(4, 5, p=0.5, seed=2)
+        from repro.graphs.operations import is_clique, is_independent_set
+        assert is_clique(g, range(4))
+        assert is_independent_set(g, range(4, 9))
+
+    def test_regularish(self):
+        g = gen.random_regular_ish_graph(12, 4, seed=0)
+        assert max(g.degrees()) <= 4 + 1  # config-model slack
+
+    def test_paper_figures(self):
+        assert diameter(gen.paper_figure1_graph()) == 3
+        g2 = gen.paper_figure2_graph()
+        assert diameter(g2) == 2
+        # the four forbidden inter-run pairs are non-edges
+        for u, v in [(2, 3), (3, 4), (5, 6), (7, 8)]:
+            assert not g2.has_edge(u, v)
+        # the run edges exist
+        for u, v in [(0, 1), (1, 2), (4, 5), (6, 7)]:
+            assert g2.has_edge(u, v)

@@ -1,0 +1,135 @@
+"""Unit tests for the core Graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert list(g.edges()) == []
+
+    def test_basic_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n == 3 and g.m == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_edges_coalesce(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(1, 1)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+
+    def test_from_edges_infers_size(self):
+        g = Graph.from_edges([(0, 3), (1, 2)])
+        assert g.n == 4 and g.m == 2
+
+    def test_from_edges_empty(self):
+        assert Graph.from_edges([]).n == 0
+
+    def test_from_adjacency_matrix_roundtrip(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 3)])
+        g2 = Graph.from_adjacency_matrix(g.adjacency_matrix())
+        assert g == g2
+
+    def test_from_adjacency_matrix_rejects_asymmetric(self):
+        a = np.zeros((2, 2), dtype=bool)
+        a[0, 1] = True
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(a)
+
+    def test_from_adjacency_matrix_rejects_diagonal(self):
+        a = np.eye(2, dtype=bool)
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(a)
+
+    def test_from_adjacency_matrix_rejects_nonsquare(self):
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(np.zeros((2, 3), dtype=bool))
+
+
+class TestMutation:
+    def test_add_remove_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.m == 1
+        g.remove_edge(0, 2)
+        assert g.m == 0 and not g.has_edge(0, 2)
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(GraphError):
+            Graph(3).remove_edge(0, 1)
+
+    def test_add_vertex(self):
+        g = Graph(2, [(0, 1)])
+        v = g.add_vertex()
+        assert v == 2 and g.n == 3 and g.degree(v) == 0
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1 and h.m == 2
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degrees() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_neighbors_immutable_snapshot(self):
+        g = Graph(3, [(0, 1)])
+        nbrs = g.neighbors(0)
+        assert nbrs == frozenset({1})
+        with pytest.raises(AttributeError):
+            nbrs.add(2)  # type: ignore[attr-defined]
+
+    def test_edges_sorted_unique(self):
+        g = Graph(4, [(2, 3), (0, 1), (1, 3)])
+        assert list(g.edges()) == [(0, 1), (1, 3), (2, 3)]
+
+    def test_adjacency_matrix_symmetric(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        a = g.adjacency_matrix()
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * g.m
+
+    def test_density(self):
+        assert Graph(2, [(0, 1)]).density() == 1.0
+        assert Graph(1).density() == 0.0
+        assert Graph(4).density() == 0.0
+
+    def test_is_complete(self):
+        assert Graph(3, [(0, 1), (0, 2), (1, 2)]).is_complete()
+        assert not Graph(3, [(0, 1)]).is_complete()
+
+    def test_contains_and_len(self):
+        g = Graph(3)
+        assert 2 in g and 3 not in g and len(g) == 3
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"

@@ -1,0 +1,151 @@
+"""Operations tests: complement, powers, joins, gadget moves."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.operations import (
+    add_false_twin,
+    add_leaf,
+    add_universal_vertex,
+    complement,
+    degree_histogram,
+    disjoint_union,
+    edge_subdivision,
+    graph_power,
+    induced_subgraph,
+    is_clique,
+    is_independent_set,
+    join,
+    relabel,
+)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestComplement:
+    def test_complement_counts(self):
+        g = gen.path_graph(4)
+        c = complement(g)
+        assert g.m + c.m == 4 * 3 // 2
+
+    def test_double_complement_identity(self, small_graph_zoo):
+        for g in small_graph_zoo:
+            assert complement(complement(g)) == g
+
+    def test_complement_of_complete_is_empty(self):
+        assert complement(gen.complete_graph(5)).m == 0
+
+
+class TestPower:
+    def test_path_square(self):
+        g2 = graph_power(gen.path_graph(5), 2)
+        assert g2.has_edge(0, 2) and not g2.has_edge(0, 3)
+
+    def test_power_at_least_one(self):
+        with pytest.raises(GraphError):
+            graph_power(gen.path_graph(3), 0)
+
+    def test_power_matches_networkx(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            for k in (2, 3):
+                mine = graph_power(g, k)
+                oracle = nx.power(to_nx(g), k)
+                assert set(mine.edges()) == {tuple(sorted(e)) for e in oracle.edges()}
+
+    def test_power_of_diameter2_is_complete(self, diam2_graphs):
+        for g in diam2_graphs:
+            assert graph_power(g, 2).is_complete()
+
+    def test_power_keeps_components_separate(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        g2 = graph_power(g, 3)
+        assert not g2.has_edge(0, 2)
+
+
+class TestUnionJoin:
+    def test_disjoint_union(self):
+        g = disjoint_union(gen.path_graph(2), gen.path_graph(3))
+        assert (g.n, g.m) == (5, 3)
+        assert g.has_edge(0, 1) and g.has_edge(2, 3) and not g.has_edge(1, 2)
+
+    def test_join_edge_count(self):
+        g = join(gen.path_graph(2), gen.path_graph(3))
+        assert g.m == 1 + 2 + 2 * 3
+
+    def test_join_diameter_at_most_two(self):
+        g = join(gen.empty_graph(3), gen.empty_graph(4))
+        from repro.graphs.traversal import diameter
+        assert diameter(g) == 2
+
+
+class TestSubgraphRelabel:
+    def test_induced_subgraph(self):
+        g = gen.cycle_graph(5)
+        h = induced_subgraph(g, [0, 1, 2])
+        assert (h.n, h.m) == (3, 2)
+
+    def test_induced_subgraph_duplicates_rejected(self):
+        with pytest.raises(GraphError):
+            induced_subgraph(gen.path_graph(3), [0, 0])
+
+    def test_relabel_roundtrip(self):
+        g = gen.path_graph(4)
+        perm = [3, 1, 0, 2]
+        inv = [perm.index(i) for i in range(4)]
+        assert relabel(relabel(g, perm), inv) == g
+
+    def test_relabel_requires_permutation(self):
+        with pytest.raises(GraphError):
+            relabel(gen.path_graph(3), [0, 0, 1])
+
+
+class TestGadgetMoves:
+    def test_universal_vertex(self):
+        g, x = add_universal_vertex(gen.path_graph(3))
+        assert g.degree(x) == 3
+        from repro.graphs.traversal import diameter
+        assert diameter(g) <= 2
+
+    def test_false_twin_neighborhoods_match(self):
+        g = gen.cycle_graph(5)
+        g2, twin = add_false_twin(g, 0)
+        assert g2.neighbors(twin) == g.neighbors(0)
+        assert not g2.has_edge(0, twin)
+
+    def test_add_leaf(self):
+        g, w = add_leaf(gen.complete_graph(3), 1)
+        assert g.degree(w) == 1 and g.has_edge(1, w)
+
+    def test_edge_subdivision(self):
+        g = edge_subdivision(gen.path_graph(2), 0, 1)
+        assert (g.n, g.m) == (3, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_edge_subdivision_missing_edge(self):
+        with pytest.raises(GraphError):
+            edge_subdivision(gen.path_graph(3), 0, 2)
+
+
+class TestPredicatesHistogram:
+    def test_is_clique(self):
+        g = gen.complete_graph(4)
+        assert is_clique(g, [0, 1, 2])
+        g2 = gen.path_graph(3)
+        assert not is_clique(g2, [0, 1, 2])
+
+    def test_is_independent_set(self):
+        g = gen.star_graph(3)
+        assert is_independent_set(g, [1, 2, 3])
+        assert not is_independent_set(g, [0, 1])
+
+    def test_degree_histogram(self):
+        h = degree_histogram(gen.star_graph(4))
+        assert h.tolist() == [0, 4, 0, 0, 1]

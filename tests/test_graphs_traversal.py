@@ -1,0 +1,114 @@
+"""Traversal tests, cross-checked against networkx as an independent oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    all_pairs_distances,
+    bfs_distances,
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+    radius,
+)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestBfs:
+    def test_path_distances(self):
+        d = bfs_distances(gen.path_graph(5), 0)
+        assert d.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = Graph(3, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert d[2] == UNREACHABLE
+
+    def test_matches_networkx(self, random_connected_graphs):
+        for g in random_connected_graphs:
+            lengths = nx.single_source_shortest_path_length(to_nx(g), 0)
+            mine = bfs_distances(g, 0)
+            for v in range(g.n):
+                assert mine[v] == lengths[v]
+
+
+class TestApsp:
+    def test_symmetric_zero_diagonal(self, small_graph_zoo):
+        for g in small_graph_zoo:
+            d = all_pairs_distances(g)
+            assert np.array_equal(d, d.T)
+            assert np.all(np.diagonal(d) == 0)
+
+    def test_matches_networkx(self, random_connected_graphs):
+        for g in random_connected_graphs:
+            oracle = dict(nx.all_pairs_shortest_path_length(to_nx(g)))
+            mine = all_pairs_distances(g)
+            for u in range(g.n):
+                for v in range(g.n):
+                    assert mine[u, v] == oracle[u][v]
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(gen.cycle_graph(4)) == [[0, 1, 2, 3]]
+
+    def test_multiple_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert is_connected(gen.path_graph(4))
+        assert not is_connected(Graph(2))
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+
+class TestDiameterRadius:
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (lambda: gen.path_graph(5), 4),
+            (lambda: gen.cycle_graph(6), 3),
+            (lambda: gen.complete_graph(5), 1),
+            (lambda: gen.petersen_graph(), 2),
+            (lambda: gen.star_graph(4), 2),
+            (lambda: gen.hypercube_graph(3), 3),
+        ],
+    )
+    def test_known_diameters(self, make, expected):
+        assert diameter(make()) == expected
+
+    def test_trivial_sizes(self):
+        assert diameter(Graph(0)) == 0
+        assert diameter(Graph(1)) == 0
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            diameter(Graph(3, [(0, 1)]))
+        with pytest.raises(DisconnectedGraphError):
+            radius(Graph(2))
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(Graph(2), 0)
+
+    def test_matches_networkx(self, random_connected_graphs):
+        for g in random_connected_graphs:
+            assert diameter(g) == nx.diameter(to_nx(g))
+            assert radius(g) == nx.radius(to_nx(g))
+
+    def test_eccentricity_path(self):
+        g = gen.path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2

@@ -1,0 +1,151 @@
+"""Hamiltonicity deciders + the Theorem 1 / Theorem 3 gadget equivalences."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError, InfeasibleInstanceError, ReproError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.hamiltonicity import (
+    find_hamiltonian_cycle,
+    find_hamiltonian_path,
+    griggs_yeh_gadget,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    hc_to_hp_gadget,
+)
+from repro.labeling.exact import exact_span_or_fail
+from repro.labeling.spec import L21
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestDeciders:
+    @pytest.mark.parametrize(
+        "make,hp,hc",
+        [
+            (lambda: gen.path_graph(5), True, False),
+            (lambda: gen.cycle_graph(5), True, True),
+            (lambda: gen.star_graph(3), False, False),
+            (lambda: gen.complete_graph(4), True, True),
+            (lambda: gen.petersen_graph(), True, False),  # famously non-hamiltonian
+            (lambda: gen.complete_bipartite_graph(2, 3), True, False),
+            (lambda: gen.complete_bipartite_graph(3, 3), True, True),
+            (lambda: gen.grid_graph(3, 3), True, False),  # odd bipartite grid
+        ],
+    )
+    def test_known_cases(self, make, hp, hc):
+        g = make()
+        assert has_hamiltonian_path(g) is hp
+        assert has_hamiltonian_cycle(g) is hc
+
+    def test_witness_path_valid(self):
+        g = gen.grid_graph(3, 3)
+        path = find_hamiltonian_path(g)
+        assert path is not None and sorted(path) == list(range(9))
+        assert all(g.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+    def test_witness_cycle_valid(self):
+        g = gen.cycle_graph(6)
+        cyc = find_hamiltonian_cycle(g)
+        assert cyc is not None
+        assert all(g.has_edge(a, b) for a, b in zip(cyc, cyc[1:]))
+        assert g.has_edge(cyc[-1], cyc[0])
+
+    def test_no_witness_when_absent(self):
+        assert find_hamiltonian_path(gen.star_graph(3)) is None
+        assert find_hamiltonian_cycle(gen.path_graph(4)) is None
+
+    def test_trivial_sizes(self):
+        assert has_hamiltonian_path(Graph(0)) and has_hamiltonian_path(Graph(1))
+        assert not has_hamiltonian_cycle(Graph(2, [(0, 1)]))
+        assert find_hamiltonian_path(Graph(1)) == [0]
+
+    def test_size_cap(self):
+        with pytest.raises(ReproError):
+            has_hamiltonian_path(gen.empty_graph(30))
+
+    def test_against_networkx_tournament_free_check(self, rng):
+        # brute-force oracle on random 6-vertex graphs
+        for _ in range(10):
+            g = gen.random_gnp(6, float(rng.uniform(0.2, 0.7)), seed=rng)
+            oracle = any(
+                all(g.has_edge(p[i], p[i + 1]) for i in range(5))
+                for p in itertools.permutations(range(6))
+            )
+            assert has_hamiltonian_path(g) == oracle
+
+
+class TestTheorem1Gadget:
+    def test_size_accounting(self):
+        g = gen.cycle_graph(5)
+        res = hc_to_hp_gadget(g)
+        assert res.graph.n == g.n + 3      # twin + 2 leaves
+        assert set(res.special) == {"pivot", "twin", "leaf_pivot", "leaf_twin"}
+
+    def test_equivalence_exhaustive_n4(self):
+        pairs = list(itertools.combinations(range(4), 2))
+        for mask in range(1 << len(pairs)):
+            g = Graph(4, (pairs[i] for i in range(len(pairs)) if mask >> i & 1))
+            assert has_hamiltonian_cycle(g) == has_hamiltonian_path(
+                hc_to_hp_gadget(g).graph
+            )
+
+    def test_path_endpoints_are_leaves(self):
+        g = gen.cycle_graph(5)
+        res = hc_to_hp_gadget(g)
+        path = find_hamiltonian_path(res.graph)
+        assert path is not None
+        assert {path[0], path[-1]} == {res.special["leaf_pivot"],
+                                       res.special["leaf_twin"]}
+
+    def test_pivot_choice_irrelevant(self):
+        g = gen.cycle_graph(5)
+        for pivot in range(5):
+            assert has_hamiltonian_path(hc_to_hp_gadget(g, pivot).graph)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            hc_to_hp_gadget(gen.path_graph(2))
+
+
+class TestTheorem3Gadget:
+    def test_diameter_at_most_two(self, random_connected_graphs):
+        from repro.graphs.traversal import diameter
+        for g in random_connected_graphs[:6]:
+            assert diameter(griggs_yeh_gadget(g).graph) <= 2
+
+    def test_equivalence_exhaustive_n4(self):
+        pairs = list(itertools.combinations(range(4), 2))
+        for mask in range(1 << len(pairs)):
+            g = Graph(4, (pairs[i] for i in range(len(pairs)) if mask >> i & 1))
+            gy = griggs_yeh_gadget(g).graph
+            try:
+                exact_span_or_fail(gy, L21, g.n + 1)
+                span_ok = True
+            except InfeasibleInstanceError:
+                span_ok = False
+            assert has_hamiltonian_path(g) == span_ok
+
+    def test_certificate_construction(self):
+        """The forward-direction labeling from the docstring, executed."""
+        g = gen.path_graph(5)  # ham path 0..4
+        res = griggs_yeh_gadget(g)
+        gy, x = res.graph, res.special["universal"]
+        from repro.labeling.labeling import Labeling
+        labels = [0] * gy.n
+        for i in range(5):
+            labels[i] = i
+        labels[x] = 5 + 1
+        assert Labeling(tuple(labels)).is_feasible(gy, L21)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            griggs_yeh_gadget(Graph(0))

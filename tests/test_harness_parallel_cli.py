@@ -1,0 +1,154 @@
+"""Harness, parallel layer and CLI tests."""
+
+import io
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs import generators as gen
+from repro.harness.runner import EngineRun, run_engines, time_call
+from repro.harness.tables import render_markdown, render_table
+from repro.harness.workloads import WORKLOADS, make_workload, sweep
+from repro.labeling.spec import L21
+from repro.parallel.pool import chunked, default_workers, parallel_map
+from repro.parallel.portfolio import portfolio_solve, sequential_portfolio
+
+
+class TestWorkloads:
+    def test_all_families_instantiate(self):
+        for family in WORKLOADS:
+            wl = make_workload(family, 8, seed=1)
+            assert wl.graph.n >= 2
+            assert family in wl.label
+
+    def test_deterministic(self):
+        a = make_workload("diam2", 10, seed=3)
+        b = make_workload("diam2", 10, seed=3)
+        assert a.graph == b.graph
+
+    def test_unknown_family(self):
+        with pytest.raises(ReproError):
+            make_workload("quantum", 5)
+
+    def test_sweep_cross_product(self):
+        wls = sweep("diam2", [6, 8], [0, 1, 2])
+        assert len(wls) == 6
+
+
+class TestRunner:
+    def test_time_call(self):
+        out, secs = time_call(lambda: 42)
+        assert out == 42 and secs >= 0
+
+    def test_run_engines_ratios(self):
+        wls = [make_workload("diam2", 8, seed=s) for s in range(2)]
+        runs = run_engines(wls, L21, ["held_karp", "nearest_neighbor"])
+        assert len(runs) == 4
+        by_wl: dict[str, list[EngineRun]] = {}
+        for r in runs:
+            by_wl.setdefault(r.workload, []).append(r)
+        for rows in by_wl.values():
+            exact = next(r for r in rows if r.engine == "held_karp")
+            assert exact.ratio == 1.0
+            for r in rows:
+                assert r.ratio >= 1.0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_render_markdown(self):
+        out = render_markdown(["x"], [[1]])
+        assert out.splitlines()[1] == "|---|"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.00000012], [1234567.0], [0.0]])
+        assert "e" in out  # scientific for extremes
+        assert "0" in out
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+
+class TestParallelPool:
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_parallel_map_order(self):
+        assert parallel_map(str, [3, 1, 2], workers=1) == ["3", "1", "2"]
+
+    def test_parallel_map_processes(self):
+        # len is picklable and cheap; use 2 workers to exercise the pool
+        out = parallel_map(len, [[1], [1, 2], []], workers=2)
+        assert out == [1, 2, 0]
+
+
+class TestPortfolio:
+    def test_parallel_matches_sequential(self):
+        g = gen.random_graph_with_diameter_at_most(20, 2, seed=5)
+        engines = ["two_opt", "nearest_neighbor"]
+        seq = sequential_portfolio(g, L21, engines)
+        par = portfolio_solve(g, L21, engines, workers=2)
+        assert par.span == seq.span
+        assert par.labeling.is_feasible(g, L21)
+
+
+class TestCli:
+    def run_cli(self, argv, stdin_text=None):
+        from repro.cli import main
+        old_out, old_in = sys.stdout, sys.stdin
+        sys.stdout = io.StringIO()
+        if stdin_text is not None:
+            sys.stdin = io.StringIO(stdin_text)
+        try:
+            code = main(argv)
+            return code, sys.stdout.getvalue()
+        finally:
+            sys.stdout, sys.stdin = old_out, old_in
+
+    def test_engines_listing(self):
+        code, out = self.run_cli(["engines"])
+        assert code == 0 and "held_karp" in out
+
+    def test_generate_and_solve_roundtrip(self, tmp_path):
+        code, out = self.run_cli(["generate", "diam2", "8", "--seed", "2"])
+        assert code == 0
+        p = tmp_path / "g.edges"
+        p.write_text(out)
+        code, out = self.run_cli(
+            ["solve", str(p), "-p", "2,1", "--engine", "held_karp", "--labels"]
+        )
+        assert code == 0 and "span:" in out and "exact: True" in out
+
+    def test_solve_from_stdin(self):
+        code, out = self.run_cli(
+            ["solve", "-", "-p", "2,1"], stdin_text="3 3\n0 1\n1 2\n0 2\n"
+        )
+        assert code == 0 and "span: 4" in out  # K3 -> 2(n-1) = 4
+
+    def test_reduce_prints_matrix(self):
+        code, out = self.run_cli(
+            ["reduce", "-", "-p", "2,1"], stdin_text="3 2\n0 1\n1 2\n"
+        )
+        assert code == 0
+        rows = [line.split() for line in out.strip().splitlines()]
+        assert rows[0] == ["0", "2", "1"]
+
+    def test_unknown_experiment_id(self):
+        code, out = self.run_cli(["experiment", "E99"])
+        assert code == 2
+
+    def test_experiment_run(self):
+        code, out = self.run_cli(["experiment", "E2"])
+        assert code == 0 and "PASS" in out

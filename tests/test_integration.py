@@ -1,0 +1,160 @@
+"""End-to-end integration tests spanning multiple subsystems.
+
+These tie the whole pipeline together the way the experiments do:
+graph generator -> reduction -> several engines -> labeling -> verification
+-> cross-checks against independent oracles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.traversal import diameter
+from repro.labeling.exact import exact_span
+from repro.labeling.greedy import best_greedy_labeling
+from repro.labeling.spec import L21, LpSpec
+from repro.labeling.special import (
+    l21_span_complete,
+    l21_span_complete_bipartite,
+    l21_span_cycle,
+    l21_span_star,
+    l21_span_wheel,
+)
+from repro.partition.diameter2 import solve_lpq_diameter2
+from repro.reduction.solver import solve_labeling
+from repro.tsp.portfolio import ENGINES, GUARANTEED_ENGINES
+
+
+class TestThreeWayAgreement:
+    """TSP route == partition route == direct search, across families."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_diam2(self, seed):
+        g = gen.random_graph_with_diameter_at_most(8, 2, seed=seed)
+        spans = {
+            "tsp": solve_labeling(g, L21, engine="held_karp").span,
+            "bnb": solve_labeling(g, L21, engine="branch_bound").span,
+            "pip": solve_lpq_diameter2(g, L21, method="exact").span,
+            "direct": exact_span(g, L21),
+        }
+        assert len(set(spans.values())) == 1, spans
+
+    def test_closed_form_families_full_pipeline(self):
+        cases = [
+            (gen.cycle_graph(5), l21_span_cycle(5)),  # C5: the largest diam-2 cycle
+            (gen.complete_graph(7), l21_span_complete(7)),
+            (gen.star_graph(7), l21_span_star(7)),
+            (gen.wheel_graph(7), l21_span_wheel(7)),
+            (gen.complete_bipartite_graph(4, 4), l21_span_complete_bipartite(4, 4)),
+        ]
+        for g, expected in cases:
+            assert solve_labeling(g, L21, engine="held_karp").span == expected
+
+
+class TestGuaranteesEndToEnd:
+    def test_approximation_engines_within_bounds_on_labeling(self):
+        for seed in range(5):
+            g = gen.random_graph_with_diameter_at_most(11, 2, seed=seed)
+            opt = solve_labeling(g, L21, engine="held_karp").span
+            for engine, ratio in GUARANTEED_ENGINES.items():
+                r = solve_labeling(g, L21, engine=engine)
+                assert r.span <= ratio * opt + 1e-9, engine
+                assert r.labeling.is_feasible(g, L21)
+
+    def test_heuristics_bounded_by_greedy_baseline(self):
+        """The TSP heuristics should beat plain greedy labeling comfortably."""
+        worse = 0
+        for seed in range(5):
+            g = gen.random_graph_with_diameter_at_most(12, 2, seed=seed)
+            lk = solve_labeling(g, L21, engine="lk").span
+            greedy = best_greedy_labeling(g, L21, restarts=5).span
+            if lk > greedy:
+                worse += 1
+        assert worse == 0
+
+
+class TestLargerInstances:
+    def test_heuristic_pipeline_scales(self):
+        g = gen.random_graph_with_diameter_at_most(60, 2, seed=3)
+        r = solve_labeling(g, L21, engine="lk")
+        assert r.labeling.is_feasible(g, L21)
+        # diam-2, n=60: span at least (n-1)*pmin
+        assert r.span >= 59
+
+    def test_diam3_spec3(self):
+        g = gen.random_graph_with_diameter_at_most(40, 3, seed=1)
+        spec = LpSpec((2, 2, 1))
+        if diameter(g) <= 3:
+            r = solve_labeling(g, spec, engine="or_opt")
+            assert r.labeling.is_feasible(g, spec)
+
+    def test_geometric_radio_network(self):
+        g, _pos = gen.random_geometric_graph(30, 0.6, seed=2)
+        if diameter(g) <= 2:
+            r = solve_labeling(g, L21, engine="lk")
+            assert r.labeling.is_feasible(g, L21)
+
+
+class TestEngineMatrixOnFamilies:
+    """Every engine x several families: outputs always feasible and ordered."""
+
+    FAMILIES = [
+        lambda: gen.complete_graph(9),
+        lambda: gen.petersen_graph(),
+        lambda: gen.wheel_graph(8),
+        lambda: gen.complete_bipartite_graph(4, 5),
+        lambda: gen.random_graph_with_diameter_at_most(10, 2, seed=9),
+    ]
+
+    @pytest.mark.parametrize("family_idx", range(5))
+    def test_all_engines(self, family_idx):
+        g = self.FAMILIES[family_idx]()
+        opt = solve_labeling(g, L21, engine="held_karp").span
+        for engine in ENGINES:
+            r = solve_labeling(g, L21, engine=engine)
+            assert r.labeling.is_feasible(g, L21), engine
+            assert r.span >= opt, engine
+
+
+class TestExperimentSuiteSmoke:
+    """Each experiment runs and passes at reduced scale."""
+
+    def test_e1(self):
+        from repro.harness.experiments import e1_figure1_reduction
+        assert e1_figure1_reduction().passed
+
+    def test_e2(self):
+        from repro.harness.experiments import e2_figure2_partition
+        assert e2_figure2_partition().passed
+
+    def test_e3_small(self):
+        from repro.harness.experiments import e3_reduction_scaling
+        assert e3_reduction_scaling(sizes=(30, 60), seeds=1).passed
+
+    def test_e4_small(self):
+        from repro.harness.experiments import e4_held_karp_growth
+        assert e4_held_karp_growth(sizes=(8, 10, 12), seeds=1).passed
+
+    def test_e5_small(self):
+        from repro.harness.experiments import e5_approximation_ratio
+        assert e5_approximation_ratio(n=10, trials=6).passed
+
+    def test_e6_small(self):
+        from repro.harness.experiments import e6_partition_paths
+        assert e6_partition_paths(n=10, trials=4).passed
+
+    def test_e7_small(self):
+        from repro.harness.experiments import e7_heuristic_engines
+        assert e7_heuristic_engines(n=10, trials=3).passed
+
+    def test_e8_small(self):
+        from repro.harness.experiments import e8_l1_coloring
+        assert e8_l1_coloring(trials=4).passed
+
+    def test_e9_small(self):
+        from repro.harness.experiments import e9_hardness_gadgets
+        assert e9_hardness_gadgets(n=4).passed
+
+    def test_e10_small(self):
+        from repro.harness.experiments import e10_parallel_portfolio
+        assert e10_parallel_portfolio(n=30, engines_used=2).passed

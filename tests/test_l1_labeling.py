@@ -1,0 +1,73 @@
+"""Theorem 4 and Corollary 3 tests: L(1^k) via coloring, pmax-approximation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs import generators as gen
+from repro.labeling.exact import exact_span
+from repro.labeling.spec import L21, LpSpec, all_ones
+from repro.partition.l1_labeling import (
+    l1_labeling_exact,
+    l1_labeling_heuristic,
+    pmax_approx_labeling,
+)
+
+
+class TestTheorem4:
+    def test_exact_matches_bruteforce_k2(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            lab = l1_labeling_exact(g, 2)
+            assert lab.is_feasible(g, all_ones(2))
+            assert lab.span == exact_span(g, all_ones(2))
+
+    def test_exact_matches_bruteforce_k3(self, random_connected_graphs):
+        for g in random_connected_graphs[:4]:
+            lab = l1_labeling_exact(g, 3)
+            assert lab.span == exact_span(g, all_ones(3))
+
+    def test_k1_is_plain_coloring(self):
+        g = gen.cycle_graph(5)
+        assert l1_labeling_exact(g, 1).span == 2  # chi(C5) - 1
+
+    def test_heuristic_feasible_and_upper(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            heur = l1_labeling_heuristic(g, 2)
+            assert heur.is_feasible(g, all_ones(2))
+            assert heur.span >= exact_span(g, all_ones(2))
+
+    def test_diameter2_power_is_clique(self, diam2_graphs):
+        # On diameter-2 graphs L(1,1) forces all-distinct labels: span n-1.
+        for g in diam2_graphs[:5]:
+            assert l1_labeling_exact(g, 2).span == g.n - 1
+
+
+class TestCorollary3:
+    def test_ratio_bound_l21(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            approx = pmax_approx_labeling(g, L21)
+            assert approx.is_feasible(g, L21)
+            opt = exact_span(g, L21)
+            assert approx.span <= L21.pmax * opt
+
+    def test_ratio_bound_multi_k(self, random_connected_graphs):
+        spec = LpSpec((2, 2, 1))
+        for g in random_connected_graphs[:4]:
+            approx = pmax_approx_labeling(g, spec)
+            assert approx.is_feasible(g, spec)
+            assert approx.span <= spec.pmax * exact_span(g, spec)
+
+    def test_scaling_identity(self):
+        """λ_{cp} = c λ_p (used in Corollary 3's proof)."""
+        g = gen.cycle_graph(6)
+        for spec in (L21, LpSpec((1, 1))):
+            for c in (2, 3):
+                assert exact_span(g, spec.scaled(c)) == c * exact_span(g, spec)
+
+    def test_zero_entry_rejected(self):
+        with pytest.raises(ReproError):
+            pmax_approx_labeling(gen.path_graph(3), LpSpec((1, 0)))
+
+    def test_heuristic_coloring_variant(self, random_connected_graphs):
+        g = random_connected_graphs[0]
+        approx = pmax_approx_labeling(g, L21, exact_coloring=False)
+        assert approx.is_feasible(g, L21)

@@ -1,0 +1,172 @@
+"""Exact / greedy labelers and closed-form spans."""
+
+import pytest
+
+from repro.errors import InfeasibleInstanceError, ReproError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.labeling.bounds import lower_bound, trivial_upper_bound
+from repro.labeling.exact import exact_labeling, exact_span, exact_span_or_fail
+from repro.labeling.greedy import best_greedy_labeling, greedy_labeling
+from repro.labeling.spec import L11, L21, LpSpec
+from repro.labeling.special import (
+    l21_span_complete,
+    l21_span_complete_bipartite,
+    l21_span_cycle,
+    l21_span_path,
+    l21_span_star,
+    l21_span_wheel,
+)
+
+
+class TestExact:
+    def test_trivial_sizes(self):
+        assert exact_span(Graph(0), L21) == 0
+        assert exact_span(Graph(1), L21) == 0
+
+    def test_edge(self):
+        assert exact_span(gen.path_graph(2), L21) == 2
+
+    def test_optimal_labeling_feasible(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            lab = exact_labeling(g, L21)
+            assert lab.is_feasible(g, L21)
+
+    def test_bounds_sandwich(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            s = exact_span(g, L21)
+            assert lower_bound(g, L21) <= s <= trivial_upper_bound(g, L21)
+
+    def test_size_cap(self):
+        with pytest.raises(ReproError):
+            exact_span(gen.complete_graph(13), L21)
+
+    def test_l11_equals_coloring_of_square_minus_one(self):
+        # independent way to state L(1,1): chromatic number of G^2 minus 1
+        from repro.graphs.operations import graph_power
+        from repro.partition.coloring import chromatic_number_exact
+        for g in [gen.cycle_graph(5), gen.path_graph(6), gen.star_graph(4)]:
+            chi, _ = chromatic_number_exact(graph_power(g, 2))
+            assert exact_span(g, L11) == chi - 1
+
+    def test_decision_version(self):
+        g = gen.path_graph(3)  # lambda = 3
+        lab = exact_span_or_fail(g, L21, 3)
+        assert lab.is_feasible(g, L21) and lab.span <= 3
+        with pytest.raises(InfeasibleInstanceError):
+            exact_span_or_fail(g, L21, 2)
+
+    def test_mirror_symmetry_breaking_still_optimal(self):
+        # regression: first-vertex cap at lam//2 must not lose solutions
+        for n in range(2, 8):
+            g = gen.cycle_graph(n) if n >= 3 else gen.path_graph(n)
+            lab = exact_labeling(g, L21)
+            assert lab.span == exact_span(g, L21)
+
+
+class TestGreedy:
+    def test_always_feasible(self, random_connected_graphs):
+        for g in random_connected_graphs:
+            for order in ("degree", "bfs", "id"):
+                lab = greedy_labeling(g, L21, order=order)
+                assert lab.is_feasible(g, L21)
+
+    def test_random_order_seeded(self):
+        g = gen.petersen_graph()
+        a = greedy_labeling(g, L21, order="random", seed=5)
+        b = greedy_labeling(g, L21, order="random", seed=5)
+        assert a.labels == b.labels
+
+    def test_explicit_order(self):
+        g = gen.path_graph(4)
+        lab = greedy_labeling(g, L21, order=[3, 2, 1, 0])
+        assert lab.is_feasible(g, L21)
+
+    def test_bad_explicit_order(self):
+        with pytest.raises(ReproError):
+            greedy_labeling(gen.path_graph(3), L21, order=[0, 0, 1])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ReproError):
+            greedy_labeling(gen.path_graph(3), L21, order="magic")  # type: ignore
+
+    def test_greedy_at_least_exact(self, random_connected_graphs):
+        for g in random_connected_graphs[:8]:
+            assert greedy_labeling(g, L21).span >= exact_span(g, L21)
+
+    def test_best_greedy_beats_single(self):
+        g = gen.petersen_graph()
+        assert (
+            best_greedy_labeling(g, L21, restarts=10).span
+            <= greedy_labeling(g, L21).span
+        )
+
+    def test_multi_k_spec(self):
+        g = gen.path_graph(6)
+        spec = LpSpec((2, 1, 1))
+        lab = greedy_labeling(g, spec)
+        assert lab.is_feasible(g, spec)
+
+
+class TestClosedForms:
+    def test_path_values(self):
+        assert [l21_span_path(n) for n in (1, 2, 3, 4, 5, 9)] == [0, 2, 3, 3, 4, 4]
+
+    def test_cycle_constant(self):
+        assert all(l21_span_cycle(n) == 4 for n in range(3, 10))
+
+    def test_complete(self):
+        assert l21_span_complete(5) == 8
+
+    def test_star(self):
+        assert l21_span_star(6) == 7
+
+    def test_wheel(self):
+        assert l21_span_wheel(3) == 6
+        assert l21_span_wheel(4) == 6
+        assert l21_span_wheel(7) == 8
+
+    def test_complete_bipartite(self):
+        assert l21_span_complete_bipartite(3, 4) == 7
+
+    @pytest.mark.parametrize(
+        "fn,arg",
+        [(l21_span_path, 0), (l21_span_cycle, 2), (l21_span_complete, 0),
+         (l21_span_star, 0), (l21_span_wheel, 2),
+         (lambda a: l21_span_complete_bipartite(a, 0), 1)],
+    )
+    def test_domain_errors(self, fn, arg):
+        with pytest.raises(ReproError):
+            fn(arg)
+
+    def test_all_against_exact_solver(self):
+        checks = [
+            (gen.path_graph(5), l21_span_path(5)),
+            (gen.cycle_graph(7), l21_span_cycle(7)),
+            (gen.complete_graph(5), l21_span_complete(5)),
+            (gen.star_graph(6), l21_span_star(6)),
+            (gen.wheel_graph(4), l21_span_wheel(4)),
+            (gen.wheel_graph(6), l21_span_wheel(6)),
+            (gen.complete_bipartite_graph(3, 4), l21_span_complete_bipartite(3, 4)),
+        ]
+        for g, expected in checks:
+            assert exact_span(g, L21) == expected
+
+
+class TestBounds:
+    def test_lower_bound_zero_cases(self):
+        assert lower_bound(Graph(1), L21) == 0
+        assert lower_bound(Graph(0), L21) == 0
+
+    def test_small_diameter_all_pairs_bound(self):
+        g = gen.complete_graph(5)  # diam 1 <= k: (n-1) * pmin = 4
+        assert lower_bound(g, L21) >= 4
+
+    def test_star_bound(self):
+        g = gen.star_graph(6)
+        assert lower_bound(g, L21) >= 6  # (delta-1)*1 + 2 = 7 actually
+        assert lower_bound(g, L21) <= exact_span(g, L21)
+
+    def test_upper_bound_is_feasible_span(self, random_connected_graphs):
+        for g in random_connected_graphs[:6]:
+            assert exact_span(g, L21) <= trivial_upper_bound(g, L21)

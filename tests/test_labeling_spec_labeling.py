@@ -1,0 +1,113 @@
+"""LpSpec and Labeling value-object tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs import generators as gen
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import L11, L21, LpSpec, all_ones
+
+
+class TestSpec:
+    def test_basic_properties(self):
+        s = LpSpec((2, 1))
+        assert s.k == 2 and s.pmin == 1 and s.pmax == 2
+        assert str(s) == "L(2, 1)"
+
+    def test_of_constructor(self):
+        assert LpSpec.of(3, 2, 2) == LpSpec((3, 2, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            LpSpec(())
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ReproError):
+            LpSpec((0, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            LpSpec((2, -1))
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ReproError):
+            LpSpec((2.0, 1))  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize(
+        "p,ok",
+        [((2, 1), True), ((1, 1), True), ((2, 2), True), ((3, 1), False),
+         ((2, 1, 1), True), ((4, 2, 2), True), ((5, 2, 2), False),
+         ((1, 0), False)],  # pmin = 0 not allowed for the reduction
+    )
+    def test_reduction_applicable(self, p, ok):
+        assert LpSpec(p).reduction_applicable is ok
+
+    def test_requirement_lookup(self):
+        s = LpSpec((3, 1))
+        assert s.requirement(1) == 3
+        assert s.requirement(2) == 1
+        assert s.requirement(5) == 0  # beyond k: unconstrained
+
+    def test_requirement_distance_positive(self):
+        with pytest.raises(ReproError):
+            L21.requirement(0)
+
+    def test_scaled(self):
+        assert L21.scaled(3) == LpSpec((6, 3))
+        with pytest.raises(ReproError):
+            L21.scaled(0)
+
+    def test_all_ones(self):
+        assert all_ones(3) == LpSpec((1, 1, 1))
+        with pytest.raises(ReproError):
+            all_ones(0)
+
+    def test_constants(self):
+        assert L21.p == (2, 1) and L11.p == (1, 1)
+
+
+class TestLabeling:
+    def test_span(self):
+        assert Labeling((0, 4, 2)).span == 4
+        assert Labeling(()).span == 0
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ReproError):
+            Labeling((0, -1))
+
+    def test_feasibility_path(self):
+        g = gen.path_graph(3)
+        assert Labeling((0, 2, 4)).is_feasible(g, L21)
+        assert not Labeling((0, 1, 2)).is_feasible(g, L21)  # adjacent gap 1
+        assert not Labeling((0, 2, 0)).is_feasible(g, L21)  # dist-2 equal
+
+    def test_violations_details(self):
+        g = gen.path_graph(3)
+        v = Labeling((0, 1, 0)).violations(g, L21)
+        assert (0, 1, 1, 2) in v           # edge (0,1), distance 1, needs 2
+        assert (0, 2, 2, 1) in v           # pair (0,2), distance 2, needs 1
+
+    def test_size_mismatch(self):
+        g = gen.path_graph(3)
+        with pytest.raises(ReproError):
+            Labeling((0, 2)).violations(g, L21)
+        assert not Labeling((0, 2)).is_feasible(g, L21)
+
+    def test_require_feasible_message(self):
+        g = gen.path_graph(2)
+        with pytest.raises(ReproError, match="violations"):
+            Labeling((0, 1)).require_feasible(g, L21)
+
+    def test_zero_requirement_distance_free(self):
+        g = gen.path_graph(3)
+        spec = LpSpec((1, 0))
+        assert Labeling((0, 1, 0)).is_feasible(g, spec)
+
+    def test_normalized(self):
+        assert Labeling((3, 5, 4)).normalized().labels == (0, 2, 1)
+        assert Labeling(()).normalized().labels == ()
+
+    def test_beyond_k_unconstrained(self):
+        g = gen.path_graph(4)  # 0 and 3 at distance 3
+        lab = Labeling((0, 2, 4, 0))
+        assert lab.is_feasible(g, L21)

@@ -1,0 +1,185 @@
+"""PARTITION INTO PATHS and the Corollary-2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReductionNotApplicableError, ReproError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.labeling.exact import exact_span
+from repro.labeling.spec import L21, LpSpec
+from repro.partition.diameter2 import (
+    Diameter2Result,
+    solve_lpq_diameter2,
+    span_from_path_count,
+)
+from repro.partition.paths_partition import (
+    is_path_partition,
+    partition_into_paths_exact,
+    partition_into_paths_greedy,
+    partition_lower_bound,
+)
+from repro.reduction.solver import solve_labeling
+
+
+class TestPartitionExact:
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (lambda: gen.path_graph(6), 1),
+            (lambda: gen.cycle_graph(5), 1),
+            (lambda: gen.empty_graph(4), 4),
+            (lambda: gen.star_graph(3), 2),          # K_{1,3}: path + leaf
+            (lambda: gen.cluster_graph([3, 3]), 2),
+            (lambda: gen.complete_graph(7), 1),
+            (lambda: Graph(0), 0),
+        ],
+    )
+    def test_known_counts(self, make, expected):
+        g = make()
+        s, paths = partition_into_paths_exact(g)
+        assert s == expected
+        assert is_path_partition(g, paths)
+
+    def test_star_structure(self):
+        # K_{1,n}: one path through the centre covers 3 vertices; the other
+        # n-2 leaves are singletons -> s = n - 1 for n >= 2
+        for leaves in range(2, 7):
+            s, _ = partition_into_paths_exact(gen.star_graph(leaves))
+            assert s == leaves - 1
+
+    def test_certificate_always_valid(self, random_connected_graphs):
+        for g in random_connected_graphs[:10]:
+            s, paths = partition_into_paths_exact(g)
+            assert is_path_partition(g, paths)
+            assert len(paths) == s
+
+    def test_lower_bound_respected(self, random_connected_graphs):
+        for g in random_connected_graphs[:10]:
+            s, _ = partition_into_paths_exact(g)
+            assert s >= partition_lower_bound(g)
+
+    def test_hamiltonian_path_iff_s1(self):
+        from repro.hamiltonicity import has_hamiltonian_path
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            g = gen.random_gnp(7, float(rng.uniform(0.2, 0.6)), seed=rng)
+            s, _ = partition_into_paths_exact(g)
+            assert (s == 1) == has_hamiltonian_path(g)
+
+    def test_size_cap(self):
+        with pytest.raises(ReproError):
+            partition_into_paths_exact(gen.empty_graph(25))
+
+
+class TestPartitionGreedy:
+    def test_upper_bounds_exact(self, random_connected_graphs):
+        for g in random_connected_graphs[:10]:
+            s_exact, _ = partition_into_paths_exact(g)
+            s_greedy, paths = partition_into_paths_greedy(g, seed=0)
+            assert is_path_partition(g, paths)
+            assert s_greedy >= s_exact
+
+    def test_handles_empty_graph(self):
+        s, paths = partition_into_paths_greedy(gen.empty_graph(5), seed=0)
+        assert s == 5 and len(paths) == 5
+
+    def test_path_graph_often_optimal(self):
+        s, _ = partition_into_paths_greedy(gen.path_graph(10), seed=0)
+        assert s <= 2  # low-degree-first peeling finds the path or near it
+
+
+class TestIsPathPartition:
+    def test_rejects_overlap(self):
+        g = gen.path_graph(3)
+        assert not is_path_partition(g, [[0, 1], [1, 2]])
+
+    def test_rejects_non_edges(self):
+        g = gen.path_graph(3)
+        assert not is_path_partition(g, [[0, 2], [1]])
+
+    def test_rejects_uncovered(self):
+        g = gen.path_graph(3)
+        assert not is_path_partition(g, [[0, 1]])
+
+    def test_rejects_empty_path(self):
+        g = gen.path_graph(2)
+        assert not is_path_partition(g, [[0, 1], []])
+
+
+class TestCorollary2Pipeline:
+    def test_formula(self):
+        assert span_from_path_count(9, 1, 2, 5) == 8 * 1 + 1 * 4
+        assert span_from_path_count(9, 2, 1, 5) == 8 * 1 + 1 * 4
+        assert span_from_path_count(1, 2, 1, 1) == 0
+
+    def test_matches_tsp_and_brute_force(self, diam2_graphs):
+        for g in diam2_graphs[:8]:
+            for spec in (L21, LpSpec((1, 2)), LpSpec((1, 1)), LpSpec((2, 2))):
+                r = solve_lpq_diameter2(g, spec, method="exact")
+                assert r.span == solve_labeling(g, spec, engine="held_karp").span
+                if g.n <= 9:
+                    assert r.span == exact_span(g, spec)
+
+    def test_route_selection(self):
+        g = gen.petersen_graph()
+        assert solve_lpq_diameter2(g, L21).on_complement          # p > q
+        assert not solve_lpq_diameter2(g, LpSpec((1, 2))).on_complement
+
+    def test_exact_formula_equality(self, diam2_graphs):
+        for g in diam2_graphs[:6]:
+            r = solve_lpq_diameter2(g, L21, method="exact")
+            p, q = L21.p
+            assert r.span == span_from_path_count(g.n, p, q, r.path_count)
+
+    def test_greedy_method_upper_bound(self, diam2_graphs):
+        for g in diam2_graphs[:6]:
+            exact = solve_lpq_diameter2(g, L21, method="exact")
+            greedy = solve_lpq_diameter2(g, L21, method="greedy")
+            assert greedy.span >= exact.span
+            assert greedy.labeling.is_feasible(g, L21)
+
+    def test_wide_pq_rejected(self):
+        """Corollary 2 inherits Theorem 2's weight condition.
+
+        Regression: for L(5,1) the path-partition formula undercounts the
+        true span on most diameter-2 graphs (e.g. the star-plus-edge below:
+        formula 8, true span 10), so the pipeline must refuse.
+        """
+        spec = LpSpec((5, 1))
+        with pytest.raises(ReductionNotApplicableError, match="p_max"):
+            solve_lpq_diameter2(gen.complete_graph(4), spec)
+        # the concrete counterexample from the investigation
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+        from repro.graphs.operations import complement
+        from repro.partition.paths_partition import partition_into_paths_exact
+        s, _ = partition_into_paths_exact(complement(g))
+        formula = span_from_path_count(5, 5, 1, s)
+        assert formula == 8 and exact_span(g, spec) == 10  # formula is wrong
+
+    def test_requires_k2(self):
+        with pytest.raises(ReductionNotApplicableError):
+            solve_lpq_diameter2(gen.complete_graph(4), LpSpec((2, 1, 1)))
+
+    def test_requires_diameter2(self):
+        with pytest.raises(ReductionNotApplicableError):
+            solve_lpq_diameter2(gen.path_graph(5), L21)
+
+    def test_requires_connected(self):
+        with pytest.raises(ReductionNotApplicableError):
+            solve_lpq_diameter2(Graph(4, [(0, 1), (2, 3)]), L21)
+
+    def test_unknown_method(self):
+        with pytest.raises(ReductionNotApplicableError):
+            solve_lpq_diameter2(gen.complete_graph(4), L21, method="quantum")
+
+    def test_complete_multipartite_structure(self):
+        # complement of K_{3,3,3} is 3 disjoint K_3s: s = 3 paths
+        g = gen.complete_multipartite_graph([3, 3, 3])
+        r = solve_lpq_diameter2(g, L21, method="exact")
+        assert r.on_complement and r.path_count == 3
+        assert r.span == span_from_path_count(9, 2, 1, 3) == 10
+
+    def test_result_type(self):
+        r = solve_lpq_diameter2(gen.complete_graph(3), L21)
+        assert isinstance(r, Diameter2Result)

@@ -1,0 +1,28 @@
+"""Tests for the profiling helpers."""
+
+from repro.profiling import HotSpot, format_hotspots, profile_call
+
+
+def test_profile_call_returns_result_and_rows():
+    result, rows = profile_call(lambda: sum(range(10000)), top=5)
+    assert result == sum(range(10000))
+    assert 0 < len(rows) <= 5
+    assert all(isinstance(r, HotSpot) for r in rows)
+    # rows sorted by cumulative time, descending
+    cums = [r.cumulative_seconds for r in rows]
+    assert cums == sorted(cums, reverse=True)
+
+
+def test_profile_solver_call():
+    from repro import L21, solve_labeling
+    from repro.graphs.generators import petersen_graph
+
+    g = petersen_graph()
+    result, rows = profile_call(lambda: solve_labeling(g, L21), top=8)
+    assert result.span == 9
+    text = format_hotspots(rows)
+    assert "cum(s)" in text and len(text.splitlines()) == 9
+
+
+def test_format_empty():
+    assert format_hotspots([]).startswith("  cum(s)")

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for the paper's key invariants.
+
+Strategies generate random graphs and constraint vectors; each property is
+one of the invariants listed in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.operations import complement, graph_power
+from repro.graphs.traversal import all_pairs_distances, diameter, is_connected
+from repro.labeling.exact import exact_span
+from repro.labeling.greedy import greedy_labeling
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import L21, LpSpec
+from repro.reduction.from_tour import labeling_from_order, span_for_order
+from repro.reduction.solver import solve_labeling
+from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.reduction.validation import is_applicable
+from repro.tsp.held_karp import held_karp_path
+from repro.tsp.hoogeveen import hoogeveen_path
+from repro.tsp.instance import TSPInstance
+from repro.tsp.lin_kernighan import lk_style_path
+from repro.tsp.local_search import or_opt_path, two_opt_path
+from repro.tsp.construction import nearest_neighbor_path
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def graphs(draw, min_n=2, max_n=7, connected=True):
+    n = draw(st.integers(min_n, max_n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    g = Graph(n, (p for p, keep in zip(pairs, mask) if keep))
+    if connected and not is_connected(g):
+        # patch with a spanning path — keeps the distribution broad enough
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+    return g
+
+
+@st.composite
+def applicable_specs(draw, k_max=3):
+    """Specs satisfying p_max <= 2 p_min (the reduction regime)."""
+    k = draw(st.integers(1, k_max))
+    pmin = draw(st.integers(1, 3))
+    p = tuple(draw(st.integers(pmin, 2 * pmin)) for _ in range(k))
+    # ensure pmin is realized
+    idx = draw(st.integers(0, k - 1))
+    p = p[:idx] + (pmin,) + p[idx + 1 :]
+    return LpSpec(p)
+
+
+@st.composite
+def metric_instances(draw, min_n=2, max_n=9):
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return TSPInstance.random_metric(n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Invariant 1 (headline): reduction + exact TSP == exact labeling
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(graphs(max_n=6), applicable_specs())
+def test_headline_reduction_equals_bruteforce(g, spec):
+    if not is_applicable(g, spec):
+        return
+    assert solve_labeling(g, spec, engine="held_karp").span == exact_span(g, spec)
+
+
+# ---------------------------------------------------------------------------
+# Invariant 2 (Claim 1): prefix sums realize the per-permutation optimum
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(graphs(max_n=7), applicable_specs(), st.randoms(use_true_random=False))
+def test_claim1_prefix_sums_feasible_and_tight(g, spec, rnd):
+    if not is_applicable(g, spec):
+        return
+    red = reduce_to_path_tsp(g, spec)
+    order = list(range(g.n))
+    rnd.shuffle(order)
+    lab = labeling_from_order(red, order)
+    assert lab.is_feasible(g, spec)
+    assert lab.span == span_for_order(red, order)
+    # monotone along the order
+    vals = [lab[v] for v in order]
+    assert vals == sorted(vals)
+
+
+# ---------------------------------------------------------------------------
+# Invariant 3: the reduced instance is metric with weights in [pmin, 2pmin]
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(graphs(max_n=7), applicable_specs())
+def test_reduction_metricity(g, spec):
+    if not is_applicable(g, spec):
+        return
+    red = reduce_to_path_tsp(g, spec)
+    assert red.instance.is_metric()
+    off = red.instance.weights[~np.eye(g.n, dtype=bool)]
+    if off.size:
+        assert off.min() >= spec.pmin and off.max() <= 2 * spec.pmin
+
+
+# ---------------------------------------------------------------------------
+# Invariant 5: engine guarantees
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(metric_instances())
+def test_hoogeveen_ratio(inst):
+    opt = held_karp_path(inst).length
+    assert hoogeveen_path(inst).length <= 1.5 * opt + 1e-9
+
+
+@settings(**SETTINGS)
+@given(metric_instances())
+def test_local_search_never_worsens_and_stays_valid(inst):
+    start = nearest_neighbor_path(inst, 0)
+    for improver in (two_opt_path, or_opt_path):
+        out = improver(inst, start)
+        assert sorted(out.order) == list(range(inst.n))
+        assert out.length <= start.length + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(metric_instances(max_n=8), st.integers(0, 2**31 - 1))
+def test_lk_no_worse_than_descent(inst, seed):
+    plain = lk_style_path(inst, kicks=0, seed=seed)
+    kicked = lk_style_path(inst, kicks=8, seed=seed)
+    assert kicked.length <= plain.length + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Invariant 6: parameter propositions
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=7))
+def test_proposition1_mw_complement(g):
+    from repro.partition.modular import modular_width
+    assert modular_width(g) == modular_width(complement(g))
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=7))
+def test_proposition2_nd_power(g):
+    from repro.partition.modular import modular_width
+    from repro.partition.neighborhood_diversity import neighborhood_diversity
+    assert neighborhood_diversity(graph_power(g, 2)) <= modular_width(g)
+
+
+# ---------------------------------------------------------------------------
+# Labeling-object sanity under arbitrary labels
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(
+    graphs(max_n=6),
+    st.lists(st.integers(0, 12), min_size=6, max_size=6),
+)
+def test_feasibility_matches_naive_check(g, labels):
+    labels = labels[: g.n] + [0] * max(0, g.n - len(labels))
+    lab = Labeling(tuple(labels))
+    dist = all_pairs_distances(g)
+    naive = all(
+        abs(lab[u] - lab[v]) >= L21.requirement(int(dist[u, v]))
+        for u in range(g.n)
+        for v in range(u + 1, g.n)
+        if dist[u, v] >= 1
+    )
+    assert lab.is_feasible(g, L21) == naive
+
+
+@settings(**SETTINGS)
+@given(graphs(max_n=7))
+def test_greedy_always_feasible_and_above_exact(g):
+    lab = greedy_labeling(g, L21)
+    assert lab.is_feasible(g, L21)
+    if g.n <= 7:
+        assert lab.span >= exact_span(g, L21)
+
+
+# ---------------------------------------------------------------------------
+# Graph-structure properties
+# ---------------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(graphs(max_n=7, connected=False))
+def test_complement_involution(g):
+    assert complement(complement(g)) == g
+
+
+@settings(**SETTINGS)
+@given(graphs(max_n=7))
+def test_power_distance_semantics(g):
+    k = 2
+    gk = graph_power(g, k)
+    dist = all_pairs_distances(g)
+    for u in range(g.n):
+        for v in range(u + 1, g.n):
+            assert gk.has_edge(u, v) == (1 <= dist[u, v] <= k)
+
+
+@settings(**SETTINGS)
+@given(graphs(max_n=7))
+def test_diameter_bounded_by_n_minus_1(g):
+    assert 0 <= diameter(g) <= g.n - 1
+
+
+# ---------------------------------------------------------------------------
+# Partition-into-paths: edges used == n - s
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=7, connected=False))
+def test_partition_edge_count_identity(g):
+    from repro.partition.paths_partition import partition_into_paths_exact
+    s, paths = partition_into_paths_exact(g)
+    edges_used = sum(len(p) - 1 for p in paths)
+    assert edges_used == g.n - s

@@ -1,0 +1,41 @@
+"""Unit tests for the EXPERIMENTS.md report generator."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import CONTEXT, FOOTER, render_report
+
+
+def _fake_result(exp_id: str, passed: bool) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"fake {exp_id}",
+        headers=["a", "b"],
+        rows=[[1, 2.5]],
+        checks=[("the check", passed)],
+        notes="a note",
+    )
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self):
+        results = [_fake_result("E1", True), _fake_result("E2", True)]
+        text = render_report(results, elapsed=1.0)
+        assert "# EXPERIMENTS" in text
+        assert "## E1" in text and "## E2" in text
+        assert "Summary: 2/2 experiments pass" in text
+        assert "✅ PASS" in text
+        assert "a note" in text
+        assert FOOTER.splitlines()[0] in text
+
+    def test_failures_surface(self):
+        text = render_report([_fake_result("E1", False)], elapsed=0.5)
+        assert "❌ FAIL" in text
+        assert "1/1" not in text.split("Summary")[1].split("\n")[0] or True
+        assert "0/1 experiments pass" in text
+
+    def test_context_covers_all_experiments(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        assert set(CONTEXT) == set(ALL_EXPERIMENTS)
+
+    def test_markdown_table_rendered(self):
+        text = render_report([_fake_result("E1", True)], elapsed=0.1)
+        assert "| a | b |" in text

@@ -1,0 +1,79 @@
+"""Dynamic labeling session tests."""
+
+import pytest
+
+from repro.errors import ReductionNotApplicableError
+from repro.graphs import generators as gen
+from repro.labeling.spec import L21
+from repro.session import LabelingSession, session_for_radio_network
+
+
+class TestSessionBasics:
+    def test_initial_solve(self):
+        s = LabelingSession(gen.complete_graph(4), L21, engine="held_karp")
+        assert s.span == 6
+        assert len(s.history) == 1
+        assert s.labeling.is_feasible(s.graph, L21)
+
+    def test_add_vertex_grows_clique(self):
+        s = LabelingSession(gen.complete_graph(3), L21, engine="held_karp")
+        v = s.add_vertex(connect_to=[0, 1, 2])
+        assert v == 3
+        assert s.span == 6  # K4
+        assert s.span_trajectory() == [4, 6]
+
+    def test_add_edge_delta(self):
+        # C5 (span 4) + a chord stays diameter 2
+        s = LabelingSession(gen.cycle_graph(5), L21, engine="held_karp")
+        delta = s.add_edge(0, 2)
+        assert delta.span_before == 4
+        assert delta.span_after >= 4
+        assert s.labeling.is_feasible(s.graph, L21)
+
+    def test_remove_edge_can_reject(self):
+        # removing a spoke from a star disconnects the leaf
+        s = LabelingSession(gen.star_graph(3), L21, engine="held_karp")
+        with pytest.raises(ReductionNotApplicableError):
+            s.remove_edge(0, 1)
+        # rollback: session still consistent
+        assert s.graph.has_edge(0, 1)
+        assert s.labeling.is_feasible(s.graph, L21)
+
+    def test_bad_mutation_rolls_back(self):
+        # P4 has diameter 3 -> adding a path tail to C5 would break diam<=2
+        s = LabelingSession(gen.cycle_graph(5), L21, engine="held_karp")
+        with pytest.raises(ReductionNotApplicableError):
+            s.add_vertex(connect_to=[0])  # pendant makes diameter 3
+        assert s.graph.n == 5
+        assert len(s.history) == 1
+
+    def test_graph_copies_are_isolated(self):
+        s = LabelingSession(gen.complete_graph(3), L21)
+        g = s.graph
+        g.add_vertex()
+        assert s.graph.n == 3  # session unaffected
+
+    def test_relabeled_vertices_reported(self):
+        s = LabelingSession(gen.cycle_graph(5), L21, engine="held_karp")
+        delta = s.add_edge(1, 3)
+        assert delta.span_change == delta.span_after - delta.span_before
+        # any vertex whose label moved is reported
+        old = s.history[-2].labeling.labels
+        new = s.history[-1].labeling.labels
+        expected = tuple(v for v in range(5) if old[v] != new[v])
+        assert delta.relabeled == expected
+
+
+class TestRadioNetworkFactory:
+    def test_dense_deployment_works(self):
+        session, pos = session_for_radio_network(
+            12, radius=0.8, spec=L21, seed=1, engine="lk"
+        )
+        assert session.span >= 11   # diam-2: all-distinct labels
+        assert pos.shape == (12, 2)
+
+    def test_sparse_deployment_rejected(self):
+        from repro.errors import GraphError
+        with pytest.raises(GraphError):
+            # tiny radius: diameter way beyond 2
+            session_for_radio_network(25, radius=0.18, spec=L21, seed=3)

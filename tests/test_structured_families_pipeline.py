@@ -1,0 +1,93 @@
+"""Structured families through the full pipeline: spans with known structure.
+
+Each family has a provable property of its optimum (a closed form, a
+complement-structure argument, or a tight lower bound); the pipeline must
+land exactly there.  These are the 'realistic workload' analogues of the
+closed-form unit tests.
+"""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.families import paley_graph, turan_graph
+from repro.labeling.spec import L21, LpSpec
+from repro.partition.diameter2 import solve_lpq_diameter2, span_from_path_count
+from repro.reduction.solver import solve_labeling
+
+
+class TestTuranFamily:
+    """T(n, r): complement = r disjoint near-equal cliques.
+
+    For L(2,1) (p=2 > q=1) the partition route runs on the complement,
+    where the optimal partition is forced: one path per clique, so
+    s = r and λ = (n-1)·1 + (2-1)·(r-1) = n + r - 2.
+    """
+
+    @pytest.mark.parametrize("n,r", [(6, 2), (6, 3), (9, 3), (8, 4), (10, 5)])
+    def test_l21_closed_form(self, n, r):
+        g = turan_graph(n, r)
+        expected = n + r - 2
+        res = solve_lpq_diameter2(g, L21, method="exact")
+        assert res.path_count == r
+        assert res.span == expected
+        assert solve_labeling(g, L21, engine="held_karp").span == expected
+
+    @pytest.mark.parametrize("n,r", [(6, 3), (9, 3)])
+    def test_l12_direct_route(self, n, r):
+        """For L(1,2) (p<q) the partition runs on T(n,r) itself, which is
+        Hamiltonian-connected enough to give s = 1: λ = n - 1."""
+        g = turan_graph(n, r)
+        res = solve_lpq_diameter2(g, LpSpec((1, 2)), method="exact")
+        assert res.path_count == 1
+        assert res.span == n - 1
+
+
+class TestPaleyFamily:
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_l21_span_lower_bound_met(self, q):
+        """Paley graphs are diam-2 and self-complementary; both G and its
+        complement are Hamiltonian (known for q >= 5), so s = 1 on the
+        complement and λ = (q-1)·1 + (2-1)·0 = q - 1... plus the p-weight
+        correction: with p=2>q=1, λ = (n-1)·1 + 1·(s-1) = n - 1."""
+        g = paley_graph(q)
+        res = solve_lpq_diameter2(g, L21, method="exact")
+        assert res.path_count == 1
+        assert res.span == q - 1
+        assert solve_labeling(g, L21, engine="held_karp").span == q - 1
+
+    def test_paley5_is_c5(self):
+        assert paley_graph(5) == gen.cycle_graph(5)
+
+
+class TestWheelFamily:
+    @pytest.mark.parametrize("rim", [5, 6, 7, 8, 9])
+    def test_wheel_formula_through_pipeline(self, rim):
+        from repro.labeling.special import l21_span_wheel
+        g = gen.wheel_graph(rim)
+        assert solve_labeling(g, L21, engine="held_karp").span == \
+            l21_span_wheel(rim)
+
+
+class TestCographFamily:
+    def test_connected_cographs_have_diameter_le_2(self):
+        """Join-rooted cographs are diameter <= 2, so the pipeline always
+        applies — the class the paper cites as polynomial is inside the
+        framework's reach."""
+        from repro.graphs.cotree import random_connected_cograph
+        from repro.graphs.traversal import diameter
+        for s in range(6):
+            g = random_connected_cograph(9, seed=s)
+            if g.n >= 2:
+                assert diameter(g) <= 2
+                r = solve_labeling(g, L21, engine="held_karp")
+                from repro.labeling.exact import exact_span
+                assert r.span == exact_span(g, L21)
+
+    def test_cograph_modular_width_2_pipeline(self):
+        from repro.graphs.cotree import random_connected_cograph
+        from repro.partition.modular import modular_width
+        g = random_connected_cograph(10, seed=1)
+        assert modular_width(g) == 2
+        res = solve_lpq_diameter2(g, L21, method="exact")
+        p, q = L21.p
+        assert res.span == span_from_path_count(g.n, p, q, res.path_count)

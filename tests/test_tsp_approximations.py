@@ -1,0 +1,99 @@
+"""Guaranteed approximations: Christofides, Hoogeveen, double-tree.
+
+The ratios asserted here are the literal content of Corollary 1b.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotMetricError
+from repro.tsp.christofides import christofides_cycle
+from repro.tsp.double_tree import double_tree_cycle, double_tree_path
+from repro.tsp.held_karp import held_karp_cycle, held_karp_path
+from repro.tsp.hoogeveen import hoogeveen_path
+from repro.tsp.instance import TSPInstance
+
+
+def euclidean(n, seed):
+    return TSPInstance.random_metric(n, seed=seed)
+
+
+def two_valued(n, seed):
+    """The reduction's weight structure (metric by construction)."""
+    return TSPInstance.random_two_valued(n, 1.0, 2.0, seed=seed)
+
+
+INSTANCES = [euclidean, two_valued]
+
+
+class TestChristofides:
+    @pytest.mark.parametrize("make", INSTANCES)
+    def test_ratio_bound(self, make):
+        for seed in range(6):
+            inst = make(10, seed)
+            opt = held_karp_cycle(inst).length
+            tour = christofides_cycle(inst)
+            assert sorted(tour.order) == list(range(10))
+            assert tour.length <= 1.5 * opt + 1e-9
+
+    def test_non_metric_rejected(self):
+        w = np.array([[0, 1, 5], [1, 0, 1], [5, 1, 0]], dtype=float)
+        with pytest.raises(NotMetricError):
+            christofides_cycle(TSPInstance(w))
+
+    def test_trivial_sizes(self):
+        assert christofides_cycle(TSPInstance(np.zeros((1, 1)))).order == (0,)
+        w = np.array([[0, 2], [2, 0]], dtype=float)
+        assert christofides_cycle(TSPInstance(w)).length == 4.0
+
+
+class TestHoogeveen:
+    @pytest.mark.parametrize("make", INSTANCES)
+    def test_ratio_bound(self, make):
+        """The 1.5 bound of Corollary 1b, on both instance shapes."""
+        worst = 0.0
+        for seed in range(10):
+            inst = make(10, seed)
+            opt = held_karp_path(inst).length
+            path = hoogeveen_path(inst)
+            assert sorted(path.order) == list(range(10))
+            ratio = path.length / opt
+            worst = max(worst, ratio)
+            assert ratio <= 1.5 + 1e-9
+        # sanity: it should usually do much better than the bound
+        assert worst <= 1.45
+
+    def test_non_metric_rejected(self):
+        w = np.array([[0, 1, 5], [1, 0, 1], [5, 1, 0]], dtype=float)
+        with pytest.raises(NotMetricError):
+            hoogeveen_path(TSPInstance(w))
+
+    def test_trivial_sizes(self):
+        assert hoogeveen_path(TSPInstance(np.zeros((1, 1)))).order == (0,)
+        w = np.array([[0, 2], [2, 0]], dtype=float)
+        assert hoogeveen_path(TSPInstance(w)).length == 2.0
+
+
+class TestDoubleTree:
+    @pytest.mark.parametrize("make", INSTANCES)
+    def test_cycle_ratio(self, make):
+        for seed in range(5):
+            inst = make(9, seed)
+            opt = held_karp_cycle(inst).length
+            assert double_tree_cycle(inst).length <= 2.0 * opt + 1e-9
+
+    @pytest.mark.parametrize("make", INSTANCES)
+    def test_path_ratio(self, make):
+        for seed in range(5):
+            inst = make(9, seed)
+            opt = held_karp_path(inst).length
+            assert double_tree_path(inst).length <= 2.0 * opt + 1e-9
+
+    def test_hoogeveen_usually_beats_double_tree(self):
+        """Experiment E5's shape at unit scale: mean comparison."""
+        h, d = [], []
+        for seed in range(10):
+            inst = euclidean(10, seed)
+            h.append(hoogeveen_path(inst).length)
+            d.append(double_tree_path(inst).length)
+        assert np.mean(h) <= np.mean(d) + 1e-12

@@ -1,0 +1,98 @@
+"""Exact TSP solvers: Held-Karp (path & cycle) and branch-and-bound.
+
+Three-way agreement: brute-force enumeration, Held-Karp, branch-and-bound.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tsp.branch_bound import branch_and_bound_path
+from repro.tsp.held_karp import held_karp_cycle, held_karp_path
+from repro.tsp.instance import TSPInstance
+
+
+def brute_force_path(inst: TSPInstance) -> float:
+    return min(
+        inst.path_length(p) for p in itertools.permutations(range(inst.n))
+    )
+
+
+def brute_force_cycle(inst: TSPInstance) -> float:
+    return min(
+        inst.cycle_length((0,) + p)
+        for p in itertools.permutations(range(1, inst.n))
+    )
+
+
+class TestHeldKarpPath:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_matches_brute_force(self, n):
+        for seed in range(3):
+            inst = TSPInstance.random_metric(n, seed=seed)
+            hk = held_karp_path(inst)
+            assert hk.length == pytest.approx(brute_force_path(inst))
+            assert sorted(hk.order) == list(range(n))
+            # reported length is consistent with the order
+            assert hk.length == pytest.approx(inst.path_length(hk.order))
+
+    def test_trivial_sizes(self):
+        assert held_karp_path(TSPInstance(np.zeros((0, 0)))).order == ()
+        assert held_karp_path(TSPInstance(np.zeros((1, 1)))).order == (0,)
+
+    def test_non_metric_still_exact(self):
+        # Held-Karp doesn't need metricity
+        w = np.array([[0, 10, 1], [10, 0, 1], [1, 1, 0]], dtype=float)
+        inst = TSPInstance(w)
+        assert held_karp_path(inst).length == 2.0
+
+    def test_size_cap(self):
+        inst = TSPInstance(np.zeros((25, 25)))
+        with pytest.raises(ReproError):
+            held_karp_path(inst)
+
+
+class TestHeldKarpCycle:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_matches_brute_force(self, n):
+        for seed in range(3):
+            inst = TSPInstance.random_metric(n, seed=seed)
+            hk = held_karp_cycle(inst)
+            assert hk.length == pytest.approx(brute_force_cycle(inst))
+            assert hk.length == pytest.approx(inst.cycle_length(hk.order))
+
+    def test_two_vertices(self):
+        w = np.array([[0, 3], [3, 0]], dtype=float)
+        assert held_karp_cycle(TSPInstance(w)).length == 6.0
+
+    def test_cycle_at_least_path(self):
+        for seed in range(5):
+            inst = TSPInstance.random_metric(8, seed=seed)
+            assert (
+                held_karp_cycle(inst).length
+                >= held_karp_path(inst).length - 1e-9
+            )
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_agrees_with_held_karp(self, n):
+        for seed in range(2):
+            inst = TSPInstance.random_metric(n, seed=seed)
+            assert branch_and_bound_path(inst).length == pytest.approx(
+                held_karp_path(inst).length
+            )
+
+    def test_two_valued_instances(self):
+        # the reduction's actual weight structure
+        for seed in range(3):
+            inst = TSPInstance.random_two_valued(9, 1.0, 2.0, seed=seed)
+            assert branch_and_bound_path(inst).length == pytest.approx(
+                held_karp_path(inst).length
+            )
+
+    def test_size_cap(self):
+        with pytest.raises(ReproError):
+            branch_and_bound_path(TSPInstance(np.zeros((20, 20))))

@@ -1,0 +1,130 @@
+"""Construction heuristics and local search: validity + quality ordering."""
+
+import numpy as np
+import pytest
+
+from repro.tsp.construction import (
+    best_nearest_neighbor_path,
+    cheapest_insertion_cycle,
+    cycle_to_path,
+    farthest_insertion_cycle,
+    greedy_edge_path,
+    nearest_neighbor_path,
+)
+from repro.tsp.held_karp import held_karp_path
+from repro.tsp.instance import TSPInstance
+from repro.tsp.lin_kernighan import lk_style_path, _double_bridge
+from repro.tsp.local_search import or_opt_path, three_opt_path, two_opt_path
+from repro.tsp.tour import HamPath
+
+
+def _valid(path, n):
+    return sorted(path.order) == list(range(n))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10, 20])
+    def test_nearest_neighbor_valid(self, n):
+        inst = TSPInstance.random_metric(n, seed=0)
+        assert _valid(nearest_neighbor_path(inst, 0), n)
+
+    def test_nn_start_respected(self):
+        inst = TSPInstance.random_metric(6, seed=1)
+        assert nearest_neighbor_path(inst, 3).order[0] == 3
+
+    def test_best_nn_at_least_single_nn(self):
+        inst = TSPInstance.random_metric(10, seed=2)
+        assert (
+            best_nearest_neighbor_path(inst).length
+            <= nearest_neighbor_path(inst, 0).length + 1e-12
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 15])
+    def test_greedy_edge_valid(self, n):
+        inst = TSPInstance.random_metric(n, seed=3)
+        assert _valid(greedy_edge_path(inst), n)
+
+    def test_insertions_valid(self):
+        inst = TSPInstance.random_metric(12, seed=4)
+        for builder in (cheapest_insertion_cycle, farthest_insertion_cycle):
+            tour = builder(inst)
+            assert sorted(tour.order) == list(range(12))
+            path = cycle_to_path(inst, tour)
+            assert _valid(path, 12)
+            assert path.length <= tour.length + 1e-12
+
+
+class TestLocalSearch:
+    def test_two_opt_never_worsens(self):
+        for seed in range(5):
+            inst = TSPInstance.random_metric(12, seed=seed)
+            start = nearest_neighbor_path(inst, 0)
+            out = two_opt_path(inst, start)
+            assert out.length <= start.length + 1e-12 and _valid(out, 12)
+
+    def test_or_opt_never_worsens(self):
+        for seed in range(5):
+            inst = TSPInstance.random_metric(12, seed=seed)
+            start = nearest_neighbor_path(inst, 0)
+            out = or_opt_path(inst, start)
+            assert out.length <= start.length + 1e-12 and _valid(out, 12)
+
+    def test_three_opt_dominates_both(self):
+        inst = TSPInstance.random_metric(14, seed=6)
+        start = nearest_neighbor_path(inst, 0)
+        t3 = three_opt_path(inst, start)
+        assert t3.length <= two_opt_path(inst, start).length + 1e-12
+        assert t3.length <= or_opt_path(inst, start).length + 1e-12
+
+    def test_two_opt_fixes_crossing(self):
+        # a path with an obvious crossing that one reversal repairs
+        pts = np.array([[0, 0], [1, 0], [2, 0], [3, 0]], dtype=float)
+        w = np.sqrt(((pts[:, None] - pts[None]) ** 2).sum(-1))
+        inst = TSPInstance(w)
+        bad = HamPath.from_order(inst, [0, 2, 1, 3])
+        fixed = two_opt_path(inst, bad)
+        assert fixed.length == pytest.approx(3.0)
+
+    def test_small_instances_pass_through(self):
+        inst = TSPInstance.random_metric(2, seed=0)
+        p = HamPath.from_order(inst, [0, 1])
+        assert two_opt_path(inst, p).order == (0, 1)
+        assert or_opt_path(inst, p).order == (0, 1)
+
+
+class TestLKStyle:
+    def test_optimal_on_small(self):
+        for seed in range(6):
+            inst = TSPInstance.random_metric(9, seed=seed)
+            lk = lk_style_path(inst, kicks=15, seed=0)
+            assert lk.length == pytest.approx(held_karp_path(inst).length)
+
+    def test_deterministic_given_seed(self):
+        inst = TSPInstance.random_metric(15, seed=7)
+        a = lk_style_path(inst, kicks=10, seed=42)
+        b = lk_style_path(inst, kicks=10, seed=42)
+        assert a.order == b.order
+
+    def test_kicks_zero_is_descent(self):
+        inst = TSPInstance.random_metric(12, seed=8)
+        p = lk_style_path(inst, kicks=0, seed=0)
+        assert _valid(p, 12)
+
+    def test_more_kicks_never_hurt(self):
+        inst = TSPInstance.random_metric(16, seed=9)
+        few = lk_style_path(inst, kicks=2, seed=1)
+        many = lk_style_path(inst, kicks=30, seed=1)
+        assert many.length <= few.length + 1e-12
+
+    def test_double_bridge_is_permutation(self):
+        inst = TSPInstance.random_metric(12, seed=10)
+        p = nearest_neighbor_path(inst, 0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            kicked = _double_bridge(inst, p, rng)
+            assert _valid(kicked, 12)
+
+    def test_tiny_instances(self):
+        for n in (1, 2, 3):
+            inst = TSPInstance.random_metric(n, seed=0)
+            assert _valid(lk_style_path(inst, kicks=3, seed=0), n)

@@ -1,0 +1,90 @@
+"""TSPInstance and tour value-object tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotMetricError, ReproError, SolverError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import HamPath, Tour
+
+
+class TestInstance:
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ReproError):
+            TSPInstance(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        w = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ReproError):
+            TSPInstance(w)
+
+    def test_rejects_nonzero_diagonal(self):
+        w = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ReproError):
+            TSPInstance(w)
+
+    def test_rejects_negative(self):
+        w = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ReproError):
+            TSPInstance(w)
+
+    def test_weights_readonly(self):
+        inst = TSPInstance.random_metric(4, seed=0)
+        with pytest.raises(ValueError):
+            inst.weights[0, 1] = 5.0
+
+    def test_path_and_cycle_length(self):
+        w = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float)
+        inst = TSPInstance(w)
+        assert inst.path_length([0, 1, 2]) == 4.0
+        assert inst.cycle_length([0, 1, 2]) == 6.0
+        assert inst.path_length([0]) == 0.0
+
+    def test_random_metric_is_metric(self):
+        for s in range(5):
+            assert TSPInstance.random_metric(10, seed=s).is_metric()
+
+    def test_two_valued_metricity_boundary(self):
+        inst = TSPInstance.random_two_valued(8, 1.0, 2.0, seed=0)
+        assert inst.is_metric()
+        inst_bad = TSPInstance.random_two_valued(8, 1.0, 2.5, p_low=0.5, seed=0)
+        assert not inst_bad.is_metric()
+
+    def test_require_metric_raises(self):
+        inst = TSPInstance.random_two_valued(8, 1.0, 3.0, p_low=0.5, seed=1)
+        with pytest.raises(NotMetricError):
+            inst.require_metric()
+
+    def test_two_valued_rejects_bad_range(self):
+        with pytest.raises(ReproError):
+            TSPInstance.random_two_valued(5, 0.0, 1.0)
+
+
+class TestTourObjects:
+    def test_ham_path_from_order_validates(self):
+        inst = TSPInstance.random_metric(4, seed=0)
+        with pytest.raises(SolverError):
+            HamPath.from_order(inst, [0, 1, 2])  # missing vertex
+
+    def test_ham_path_endpoints_and_reverse(self):
+        inst = TSPInstance.random_metric(4, seed=0)
+        p = HamPath.from_order(inst, [2, 0, 1, 3])
+        assert p.endpoints == (2, 3)
+        assert p.reversed().order == (3, 1, 0, 2)
+        assert p.reversed().length == p.length
+
+    def test_tour_open_at_heaviest(self):
+        w = np.array(
+            [[0, 1, 9, 1], [1, 0, 1, 9], [9, 1, 0, 1], [1, 9, 1, 0]], dtype=float
+        )
+        inst = TSPInstance(w)
+        t = Tour.from_order(inst, [0, 1, 2, 3])
+        path = t.to_path_dropping_heaviest_edge(inst)
+        assert path.length == t.length - 1.0  # all edges weight 1 -> drop... none
+        # cycle 0-1-2-3-0 has weights 1,1,1,1 -> drops a weight-1 edge
+        assert sorted(path.order) == [0, 1, 2, 3]
+
+    def test_tour_length_closed(self):
+        inst = TSPInstance.random_metric(5, seed=1)
+        t = Tour.from_order(inst, range(5))
+        assert t.length == pytest.approx(inst.cycle_length(range(5)))

@@ -1,0 +1,189 @@
+"""MST, matching and Eulerian-walk substrate tests (networkx as oracle)."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tsp.eulerian import Multigraph, eulerian_circuit, eulerian_trail, shortcut
+from repro.tsp.instance import TSPInstance
+from repro.tsp.matching import (
+    matching_weight,
+    min_weight_near_perfect_matching,
+    min_weight_perfect_matching,
+)
+from repro.tsp.mst import mst_weight, prim_mst
+
+
+class TestMST:
+    def test_tree_shape(self):
+        inst = TSPInstance.random_metric(10, seed=0)
+        edges = prim_mst(inst)
+        assert len(edges) == 9
+        g = nx.Graph(edges)
+        assert nx.is_tree(g) and g.number_of_nodes() == 10
+
+    def test_weight_matches_networkx(self):
+        for seed in range(6):
+            inst = TSPInstance.random_metric(9, seed=seed)
+            g = nx.Graph()
+            for i in range(9):
+                for j in range(i + 1, 9):
+                    g.add_edge(i, j, weight=inst.weight(i, j))
+            oracle = nx.minimum_spanning_tree(g).size(weight="weight")
+            assert mst_weight(inst) == pytest.approx(oracle)
+
+    def test_trivial(self):
+        assert prim_mst(TSPInstance(np.zeros((1, 1)))) == []
+        assert prim_mst(TSPInstance(np.zeros((0, 0)))) == []
+
+    def test_mst_lower_bounds_ham_path(self):
+        from repro.tsp.held_karp import held_karp_path
+        for seed in range(4):
+            inst = TSPInstance.random_metric(8, seed=seed)
+            assert mst_weight(inst) <= held_karp_path(inst).length + 1e-9
+
+
+class TestPerfectMatching:
+    def brute_force(self, w, vertices):
+        best = np.inf
+        vs = list(vertices)
+        def rec(pool, acc):
+            nonlocal best
+            if not pool:
+                best = min(best, acc)
+                return
+            a = pool[0]
+            for i in range(1, len(pool)):
+                b = pool[i]
+                rec(pool[1:i] + pool[i + 1:], acc + w[a, b])
+        rec(vs, 0.0)
+        return best
+
+    @pytest.mark.parametrize("size", [2, 4, 6, 8])
+    def test_exact_matches_brute_force(self, size):
+        for seed in range(3):
+            inst = TSPInstance.random_metric(size + 2, seed=seed)
+            verts = list(range(1, size + 1))
+            edges = min_weight_perfect_matching(inst.weights, verts)
+            assert matching_weight(inst.weights, edges) == pytest.approx(
+                self.brute_force(inst.weights, verts)
+            )
+            covered = sorted(v for e in edges for v in e)
+            assert covered == sorted(verts)
+
+    def test_matches_networkx(self):
+        for seed in range(4):
+            inst = TSPInstance.random_metric(8, seed=seed)
+            verts = list(range(8))
+            mine = matching_weight(
+                inst.weights, min_weight_perfect_matching(inst.weights, verts)
+            )
+            g = nx.Graph()
+            for i, j in itertools.combinations(verts, 2):
+                g.add_edge(i, j, weight=inst.weight(i, j))
+            oracle_edges = nx.min_weight_matching(g)
+            oracle = sum(inst.weight(u, v) for u, v in oracle_edges)
+            assert mine == pytest.approx(oracle)
+
+    def test_odd_set_rejected(self):
+        inst = TSPInstance.random_metric(5, seed=0)
+        with pytest.raises(ReproError):
+            min_weight_perfect_matching(inst.weights, [0, 1, 2])
+
+    def test_heuristic_path_reasonable(self):
+        # force the heuristic by setting the exact cap to 0
+        inst = TSPInstance.random_metric(12, seed=1)
+        verts = list(range(12))
+        heur = min_weight_perfect_matching(inst.weights, verts, max_exact=0)
+        exact = min_weight_perfect_matching(inst.weights, verts)
+        hw = matching_weight(inst.weights, heur)
+        ew = matching_weight(inst.weights, exact)
+        assert hw >= ew - 1e-12
+        assert hw <= 1.5 * ew + 1e-9  # 2-exchange gets close on Euclidean
+
+
+class TestNearPerfectMatching:
+    def test_leaves_exactly_two_exposed(self):
+        inst = TSPInstance.random_metric(10, seed=2)
+        verts = list(range(10))
+        edges, (a, b) = min_weight_near_perfect_matching(inst.weights, verts)
+        covered = {v for e in edges for v in e}
+        assert a not in covered and b not in covered and a != b
+        assert covered | {a, b} == set(verts)
+
+    def test_optimal_vs_brute_force(self):
+        inst = TSPInstance.random_metric(8, seed=3)
+        verts = list(range(8))
+        edges, _ = min_weight_near_perfect_matching(inst.weights, verts)
+        mine = matching_weight(inst.weights, edges)
+        # brute force over exposed pairs + perfect matching of the rest
+        best = np.inf
+        for a, b in itertools.combinations(verts, 2):
+            rest = [v for v in verts if v not in (a, b)]
+            m = min_weight_perfect_matching(inst.weights, rest)
+            best = min(best, matching_weight(inst.weights, m))
+        assert mine == pytest.approx(best)
+
+    def test_size_two(self):
+        inst = TSPInstance.random_metric(3, seed=0)
+        edges, exposed = min_weight_near_perfect_matching(inst.weights, [0, 2])
+        assert edges == [] and set(exposed) == {0, 2}
+
+    def test_odd_set_rejected(self):
+        inst = TSPInstance.random_metric(5, seed=0)
+        with pytest.raises(ReproError):
+            min_weight_near_perfect_matching(inst.weights, [0, 1, 2])
+
+
+class TestEulerian:
+    def test_circuit_uses_every_edge_once(self):
+        mg = Multigraph(4)
+        for u, v in [(0, 1), (1, 2), (2, 0), (0, 3), (3, 0)]:
+            mg.add_edge(u, v)
+        walk = eulerian_circuit(mg, 0)
+        assert walk[0] == walk[-1] == 0
+        assert len(walk) == mg.m + 1
+
+    def test_circuit_rejects_odd_degrees(self):
+        mg = Multigraph(2)
+        mg.add_edge(0, 1)
+        with pytest.raises(ReproError):
+            eulerian_circuit(mg, 0)
+
+    def test_trail_two_odd_vertices(self):
+        mg = Multigraph(3)
+        for u, v in [(0, 1), (1, 2)]:
+            mg.add_edge(u, v)
+        walk = eulerian_trail(mg)
+        assert {walk[0], walk[-1]} == {0, 2}
+        assert len(walk) == 3
+
+    def test_trail_rejects_bad_start(self):
+        mg = Multigraph(3)
+        mg.add_edge(0, 1)
+        mg.add_edge(1, 2)
+        with pytest.raises(ReproError):
+            eulerian_trail(mg, start=1)
+
+    def test_trail_rejects_four_odd(self):
+        mg = Multigraph(4)
+        for u, v in [(0, 1), (2, 3)]:
+            mg.add_edge(u, v)
+        with pytest.raises(ReproError):
+            eulerian_trail(mg)
+
+    def test_disconnected_edges_detected(self):
+        mg = Multigraph(4)
+        mg.add_edge(0, 1)
+        mg.add_edge(0, 1)
+        mg.add_edge(2, 3)
+        mg.add_edge(2, 3)
+        with pytest.raises(ReproError):
+            eulerian_circuit(mg, 0)
+
+    def test_shortcut(self):
+        assert shortcut([0, 1, 2, 1, 3, 0]) == [0, 1, 2, 3]
+        assert shortcut([]) == []
