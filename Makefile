@@ -1,0 +1,19 @@
+# Developer entry points.  `make test` is the tier-1 gate from ROADMAP.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -c "import repro; print('import ok:', repro.__version__)"
+
+experiments:
+	$(PYTHON) -m repro experiment

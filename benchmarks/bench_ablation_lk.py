@@ -1,6 +1,6 @@
 """EA1 — ablation: LK-style search vs its own components.
 
-DESIGN.md calls out the chained-LK design (construction + descent + kicks).
+The LK engine chains three layers (construction + descent + kicks).
 This bench isolates each layer on the same instance: construction alone,
 2-opt descent, full descent, kicked descent — quality must be monotone
 non-increasing in span, time monotone increasing.

@@ -1,6 +1,7 @@
 """Benchmark configuration: shared fixtures and the experiment-report hook.
 
-Each ``bench_eN_*.py`` module regenerates one experiment from DESIGN.md §4.
+Each ``bench_eN_*.py`` module regenerates one experiment of the E1–E11 suite
+(see ARCHITECTURE.md for the layer map behind them).
 pytest-benchmark measures the kernels; the ``test_experiment_passes``
 function in each module re-runs the *claims* (the shape checks) so a bench
 run is also a correctness gate.

@@ -12,8 +12,9 @@ Quickstart
 >>> result.span
 4
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-reproduction results.
+See ``ARCHITECTURE.md`` at the repository root for the layer map (graphs,
+labeling, reduction, TSP engines, partition, service, harness) and
+``ROADMAP.md`` for the north star and open items.
 """
 
 from repro.errors import (
@@ -31,6 +32,10 @@ from repro.labeling.spec import LpSpec, L21, L11, all_ones
 from repro.labeling.labeling import Labeling
 from repro.reduction.solver import LpTspSolver, SolveResult, solve_labeling
 from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.service.api import LabelingService, solve_record
+from repro.service.batch import BatchReport, BatchSolver, ServiceResult, SolveRequest
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.canonical import CanonicalForm, canonical_form
 from repro.session import LabelingSession
 from repro.tsp.instance import TSPInstance
 from repro.tsp.portfolio import ENGINES, solve_path
@@ -50,6 +55,16 @@ __all__ = [
     "SolveResult",
     "solve_labeling",
     "LabelingSession",
+    "LabelingService",
+    "solve_record",
+    "BatchReport",
+    "BatchSolver",
+    "ServiceResult",
+    "SolveRequest",
+    "CacheStats",
+    "ResultCache",
+    "CanonicalForm",
+    "canonical_form",
     "reduce_to_path_tsp",
     "TSPInstance",
     "ENGINES",

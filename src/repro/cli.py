@@ -3,8 +3,9 @@
 Subcommands
 -----------
 ``solve``      solve L(p)-labeling for a graph file (edge-list or DIMACS)
+``batch``      solve many graphs through the caching batch service
 ``reduce``     print the reduced metric path-TSP weight matrix
-``experiment`` run experiments from the E1–E10 reproduction suite
+``experiment`` run experiments from the E1–E11 reproduction suite
 ``generate``   emit a workload graph as an edge list (for piping)
 ``engines``    list available TSP engines
 """
@@ -12,7 +13,9 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.graphs import io as gio
 from repro.harness.experiments import ALL_EXPERIMENTS, main as run_experiments
@@ -20,6 +23,8 @@ from repro.harness.workloads import WORKLOADS, make_workload
 from repro.labeling.spec import LpSpec
 from repro.reduction.solver import solve_labeling
 from repro.reduction.to_tsp import reduce_to_path_tsp
+from repro.service.api import LabelingService, solve_record
+from repro.service.batch import SolveRequest
 from repro.tsp.portfolio import ENGINES
 
 
@@ -41,12 +46,59 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     spec = _parse_spec(args.p)
     result = solve_labeling(graph, spec, engine=args.engine)
+    if args.json:
+        record = solve_record(
+            result, graph=graph, spec=spec, include_labels=args.labels
+        )
+        print(json.dumps(record))
+        return 0
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"spec: {spec}   engine: {result.engine}   exact: {result.exact}")
     print(f"span: {result.span}")
     if args.labels:
         for v, lab in enumerate(result.labeling.labels):
             print(f"  {v}: {lab}")
+    return 0
+
+
+def _batch_inputs(source: str) -> list[tuple[str, "object"]]:
+    """Collect ``(tag, graph)`` pairs from a directory or the stdin stream."""
+    if source == "-":
+        return [
+            (f"stdin[{i}]", g)
+            for i, g in enumerate(gio.read_edge_list_stream(sys.stdin))
+        ]
+    root = Path(source)
+    if not root.is_dir():
+        raise SystemExit(f"batch source must be a directory or '-', got {source!r}")
+    pairs = []
+    for path in sorted(root.iterdir()):
+        if path.is_file():
+            pairs.append((path.name, _load_graph(str(path))))
+    return pairs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    spec = _parse_spec(args.p)
+    inputs = _batch_inputs(args.source)
+    if not inputs:
+        print("no graphs found", file=sys.stderr)
+        return 2
+    service = LabelingService(cache_path=args.cache, workers=args.workers)
+    requests = [
+        SolveRequest(graph=g, spec=spec, engine=args.engine, tag=tag)
+        for tag, g in inputs
+    ]
+    results, report = service.submit_many(requests)
+    for (tag, graph), result in zip(inputs, results):
+        record = solve_record(
+            result, graph=graph, spec=spec, include_labels=args.labels, tag=tag
+        )
+        print(json.dumps(record))
+    if args.cache:
+        service.save_cache()
+    summary = {"report": report.to_json(), "cache": service.stats().to_json()}
+    print(json.dumps(summary), file=sys.stderr)
     return 0
 
 
@@ -95,7 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-p", default="2,1", help="constraint vector, e.g. '2,1' (default)")
     s.add_argument("--engine", default="auto", choices=["auto", *ENGINES])
     s.add_argument("--labels", action="store_true", help="print per-vertex labels")
+    s.add_argument("--json", action="store_true", help="emit one JSON record")
     s.set_defaults(fn=_cmd_solve)
+
+    b = sub.add_parser(
+        "batch",
+        help="solve many graphs via the caching service; JSON-lines output",
+    )
+    b.add_argument(
+        "source",
+        help="directory of graph files, or - for a stdin edge-list stream",
+    )
+    b.add_argument("-p", default="2,1", help="constraint vector, e.g. '2,1'")
+    b.add_argument("--engine", default="auto", choices=["auto", *ENGINES])
+    b.add_argument("--workers", type=int, default=None, help="pool width")
+    b.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="JSON cache file to warm-start from and persist to",
+    )
+    b.add_argument("--labels", action="store_true", help="include labels in records")
+    b.set_defaults(fn=_cmd_batch)
 
     r = sub.add_parser("reduce", help="print the reduced TSP weight matrix")
     r.add_argument("graph")

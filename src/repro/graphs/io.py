@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import io as _io
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
@@ -50,6 +50,52 @@ def read_edge_list(source: TextIO | str | Path) -> Graph:
         if g.m != m:
             raise GraphError(f"edge count mismatch: header says {m}, read {g.m}")
         return g
+    finally:
+        if own:
+            fh.close()
+
+
+def read_edge_list_stream(source: TextIO | str | Path) -> "Iterator[Graph]":
+    """Yield graphs from concatenated edge-list blocks until EOF.
+
+    The stream format is simply :func:`write_edge_list` outputs back to
+    back: each block is one ``n m`` header followed by exactly ``m`` edge
+    lines.  Blank lines between blocks are tolerated.  This is the CLI
+    ``batch`` subcommand's stdin format, so many graphs can be piped through
+    one process.
+    """
+    own, fh = _open(source, "r")
+    try:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            parts = header.split()
+            if not parts:
+                continue
+            if len(parts) != 2:
+                raise GraphError(f"bad edge-list header: {header!r}")
+            n, m = int(parts[0]), int(parts[1])
+            g = Graph(n)
+            read = 0
+            while read < m:
+                line = fh.readline()
+                if not line:
+                    raise GraphError(
+                        f"stream truncated: header promised {m} edges, got {read}"
+                    )
+                edge = line.split()
+                if not edge:
+                    continue
+                if len(edge) != 2:
+                    raise GraphError(f"bad edge line: {line!r}")
+                g.add_edge(int(edge[0]), int(edge[1]))
+                read += 1
+            if g.m != m:
+                raise GraphError(
+                    f"edge count mismatch: header says {m}, read {g.m}"
+                )
+            yield g
     finally:
         if own:
             fh.close()

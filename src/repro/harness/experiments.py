@@ -1,4 +1,4 @@
-"""The reproduction suite: one function per experiment E1–E10 (see DESIGN.md).
+"""The reproduction suite: one function per experiment E1–E11.
 
 Each ``eN_*`` function runs the experiment at a reproducible default scale
 and returns an :class:`ExperimentResult` with the table the paper's artefact
@@ -484,6 +484,97 @@ def e10_parallel_portfolio(n: int = 150, engines_used: int = 4) -> ExperimentRes
     )
 
 
+# ---------------------------------------------------------------------------
+# E11: extension — batch service with canonical-graph result cache
+# ---------------------------------------------------------------------------
+def e11_service_cache(
+    n: int = 32, total: int = 16, rates: tuple[float, ...] = (0.0, 0.5, 0.9)
+) -> ExperimentResult:
+    """Batch throughput under duplicate-request streams vs from-scratch solving.
+
+    Streams repeat graphs *up to vertex relabeling* — the service must
+    recognise isomorphic requests via their canonical form, not object
+    identity.  The no-cache baseline is one ``solve_labeling`` per request,
+    i.e. exactly what every entry point did before the service existed.
+    """
+    from repro.graphs.operations import relabel
+    from repro.service.batch import BatchSolver, SolveRequest
+    from repro.service.cache import ResultCache
+
+    engine = "lk"
+    rows: list[Sequence[Any]] = []
+    checks: list[tuple[str, bool]] = []
+    speedup_90 = None
+    for rate in rates:
+        unique = max(1, round(total * (1.0 - rate)))
+        bases = [
+            gen.random_graph_with_diameter_at_most(n, 2, seed=17 * s)
+            for s in range(unique)
+        ]
+        stream = []
+        for i in range(total):
+            g = bases[i % unique]
+            perm = np.random.default_rng(1000 + i).permutation(g.n).tolist()
+            stream.append(SolveRequest(relabel(g, perm), L21, engine=engine))
+
+        t0 = time.perf_counter()
+        baseline_spans = [
+            solve_labeling(r.graph, r.spec, engine=engine).span for r in stream
+        ]
+        t_base = time.perf_counter() - t0
+
+        cache = ResultCache()
+        solver = BatchSolver(cache=cache, workers=1)
+        t0 = time.perf_counter()
+        results, report = solver.solve_batch(stream)
+        t_batch = time.perf_counter() - t0
+
+        feasible = all(
+            res.labeling.is_feasible(req.graph, req.spec)
+            for req, res in zip(stream, results)
+        )
+        expected_rate = (total - unique) / total
+        checks.append(
+            (f"{rate:.0%} stream: hit rate == {expected_rate:.0%}",
+             abs(report.hit_rate - expected_rate) < 1e-9)
+        )
+        checks.append((f"{rate:.0%} stream: all labelings feasible", feasible))
+        if rate == max(rates):
+            speedup_90 = t_base / t_batch if t_batch > 0 else float("inf")
+            checks.append(
+                (f"{rate:.0%} stream: batch wall <= 25% of no-cache wall",
+                 t_batch <= 0.25 * t_base)
+            )
+        rows.append(
+            [
+                f"{rate:.0%}",
+                unique,
+                f"{report.hit_rate:.0%}",
+                f"{t_base:.3f} s",
+                f"{t_batch:.3f} s",
+                f"{t_base / t_batch:.1f}x" if t_batch > 0 else "-",
+                f"{report.throughput:.0f}/s",
+            ]
+        )
+        # the batch must agree with the from-scratch spans request by request
+        checks.append(
+            (f"{rate:.0%} stream: spans match no-cache solves",
+             [r.span for r in results] == baseline_spans)
+        )
+    return ExperimentResult(
+        exp_id="E11",
+        title="Batch labeling service: canonical-graph cache (extension)",
+        headers=["dup rate", "unique", "hit rate", "no-cache", "batch",
+                 "speed-up", "throughput"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            f"n={n}, {total} requests/stream, engine={engine}, workers=1; "
+            f"90%-dup speed-up {speedup_90:.1f}x"
+        ),
+    )
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "E1": e1_figure1_reduction,
     "E2": e2_figure2_partition,
@@ -495,6 +586,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "E8": e8_l1_coloring,
     "E9": e9_hardness_gadgets,
     "E10": e10_parallel_portfolio,
+    "E11": e11_service_cache,
 }
 
 

@@ -1,0 +1,38 @@
+"""Request-level batch labeling service with a canonical-graph result cache.
+
+Layer map (bottom up):
+
+* :mod:`repro.service.canonical` — relabeling-invariant canonical forms and
+  stable cache keys for ``(Graph, LpSpec)`` requests;
+* :mod:`repro.service.cache` — thread-safe LRU of solved labelings with
+  hit/miss/eviction stats and optional JSON persistence;
+* :mod:`repro.service.batch` — deduplicating batch solver that shards cache
+  misses across the :mod:`repro.parallel` process pool;
+* :mod:`repro.service.api` — the :class:`LabelingService` facade the session
+  layer and the CLI route through.
+"""
+
+from repro.service.api import LabelingService, solve_record
+from repro.service.batch import (
+    BatchReport,
+    BatchSolver,
+    ServiceResult,
+    SolveRequest,
+)
+from repro.service.cache import CachedSolve, CacheStats, ResultCache
+from repro.service.canonical import CanonicalForm, canonical_form, canonical_order
+
+__all__ = [
+    "LabelingService",
+    "solve_record",
+    "BatchReport",
+    "BatchSolver",
+    "ServiceResult",
+    "SolveRequest",
+    "CachedSolve",
+    "CacheStats",
+    "ResultCache",
+    "CanonicalForm",
+    "canonical_form",
+    "canonical_order",
+]

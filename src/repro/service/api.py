@@ -1,0 +1,113 @@
+"""`LabelingService` — the request-level front door of the batch subsystem.
+
+One service instance owns one cache and one batch solver; everything that
+solves repeatedly (`LabelingSession` loops, the CLI ``batch`` subcommand,
+sweep scripts) should route through a shared service so isomorphic work is
+paid for once.  The module also hosts :func:`solve_record`, the single JSON
+serialization used by both the ``solve`` and ``batch`` CLI paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graphs.graph import Graph
+from repro.labeling.spec import LpSpec
+from repro.service.batch import (
+    BatchReport,
+    BatchSolver,
+    ServiceResult,
+    SolveRequest,
+)
+from repro.service.cache import CacheStats, ResultCache
+
+
+class LabelingService:
+    """Facade over the canonical cache and the batch solver.
+
+    >>> from repro.graphs.generators import cycle_graph
+    >>> from repro.graphs.operations import relabel
+    >>> from repro.labeling.spec import L21
+    >>> svc = LabelingService()
+    >>> svc.submit(cycle_graph(5), L21, engine="held_karp").span
+    4
+    >>> svc.submit(relabel(cycle_graph(5), [4, 2, 0, 3, 1]), L21,
+    ...            engine="held_karp").cached
+    True
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 4096,
+        cache_path: str | Path | None = None,
+        workers: int | None = None,
+        small_n: int | None = None,
+    ) -> None:
+        self.cache = ResultCache(capacity=cache_capacity, path=cache_path)
+        kwargs = {} if small_n is None else {"small_n": small_n}
+        self.solver = BatchSolver(cache=self.cache, workers=workers, **kwargs)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: Graph,
+        spec: LpSpec,
+        engine: str = "auto",
+        tag: str | None = None,
+    ) -> ServiceResult:
+        """Solve (or recall) one request."""
+        results, _report = self.solver.solve_batch(
+            [SolveRequest(graph=graph, spec=spec, engine=engine, tag=tag)]
+        )
+        return results[0]
+
+    def submit_many(
+        self, requests: list[SolveRequest]
+    ) -> tuple[list[ServiceResult], BatchReport]:
+        """Solve a request stream; results come back in request order."""
+        return self.solver.solve_batch(requests)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """The shared cache's lifetime counters."""
+        return self.cache.stats
+
+    def save_cache(self, path: str | Path | None = None) -> Path:
+        """Persist the cache (see :meth:`ResultCache.save`)."""
+        return self.cache.save(path)
+
+
+def solve_record(
+    result,
+    graph: Graph | None = None,
+    spec: LpSpec | None = None,
+    include_labels: bool = False,
+    tag: str | None = None,
+) -> dict:
+    """One solve as a JSON-ready dict — shared by ``solve`` and ``batch``.
+
+    Accepts either a :class:`repro.reduction.solver.SolveResult` or a
+    :class:`repro.service.batch.ServiceResult`; the optional ``graph`` and
+    ``spec`` add provenance fields.
+    """
+    seconds = getattr(result, "seconds", None)
+    if seconds is None:
+        seconds = result.reduce_seconds + result.solve_seconds
+    record: dict = {
+        "span": result.span,
+        "engine": result.engine,
+        "exact": result.exact,
+        "cached": getattr(result, "cached", False),
+        "seconds": round(seconds, 6),
+    }
+    if graph is not None:
+        record["n"] = graph.n
+        record["m"] = graph.m
+    if spec is not None:
+        record["p"] = list(spec.p)
+    tag = tag if tag is not None else getattr(result, "tag", None)
+    if tag is not None:
+        record["tag"] = tag
+    if include_labels:
+        record["labels"] = list(result.labeling.labels)
+    return record

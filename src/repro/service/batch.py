@@ -1,0 +1,289 @@
+"""Batch solving: dedup against the cache, shard misses across processes.
+
+A :class:`BatchSolver` takes a stream of :class:`SolveRequest`\\ s and answers
+each one, doing the minimum amount of solving:
+
+1. every request is canonicalized (:mod:`repro.service.canonical`) and looked
+   up in the shared :class:`~repro.service.cache.ResultCache`;
+2. cache misses are deduplicated — isomorphic requests collapse to one job —
+   and the unique jobs are solved *in canonical coordinates* on the
+   :mod:`repro.parallel` process pool (small instances are chunked to
+   amortize pickling, large ones go one per worker);
+3. solved entries enter the cache, and every request is answered by pulling
+   the canonical labeling back through its own vertex order.
+
+Because jobs are solved in canonical coordinates, the labels that enter the
+cache serve *any* isomorphic request, now or in a later batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import LpSpec
+from repro.parallel.pool import parallel_map
+from repro.reduction.solver import solve_labeling
+from repro.service.cache import CachedSolve, ResultCache
+from repro.service.canonical import CanonicalForm, canonical_form
+
+#: Instances with at most this many vertices are cheap enough that pool
+#: pickling dominates; they are shipped in chunks.  Larger instances are
+#: scheduled one per worker so a slow solve cannot starve a chunk-mate.
+SMALL_INSTANCE_N = 40
+
+#: Chunk size for small-instance jobs.
+SMALL_CHUNK = 8
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One labeling request in a batch stream."""
+
+    graph: Graph
+    spec: LpSpec
+    engine: str = "auto"
+    tag: str | None = None       # caller's correlation id (file name, ...)
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """The service's answer to one request.
+
+    Unlike :class:`repro.reduction.solver.SolveResult` this carries no
+    reduced instance or tour — cache hits never materialize them — but it
+    keeps the fields mutate-and-resolve loops and reports consume.
+    """
+
+    labeling: Labeling
+    span: int
+    engine: str                  # resolved engine that produced the labeling
+    exact: bool
+    cached: bool                 # True when served from the cache
+    key: str                     # canonical cache key of the request
+    seconds: float               # solve wall time (0.0 for cache hits)
+    tag: str | None = None
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate accounting for one :meth:`BatchSolver.solve_batch` call."""
+
+    total: int                   # requests in the batch
+    unique: int                  # distinct canonical keys in the batch
+    cache_hits: int              # served from cache warmed by earlier batches
+    deduped: int                 # duplicates collapsed within this batch
+    solved: int                  # jobs actually sent to an engine
+    wall_seconds: float
+    engine_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without solving."""
+        if self.total == 0:
+            return 0.0
+        return (self.cache_hits + self.deduped) / self.total
+
+    @property
+    def throughput(self) -> float:
+        """Requests answered per second of wall time."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.total / self.wall_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+            "solved": self.solved,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "hit_rate": round(self.hit_rate, 4),
+            "throughput": round(self.throughput, 2),
+            "engine_seconds": {
+                e: round(s, 6) for e, s in sorted(self.engine_seconds.items())
+            },
+        }
+
+
+def _solve_job(
+    job: tuple[str, int, tuple[tuple[int, int], ...], tuple[int, ...], str]
+) -> tuple[str, tuple[int, ...], int, str, bool, float]:
+    """Pool worker: solve one canonical instance from plain picklable data.
+
+    Returns ``(key, labels, span, engine, exact, seconds)`` with labels in
+    canonical coordinates (the job's graph *is* the canonical graph).
+    """
+    key, n, edges, p, engine = job
+    t0 = time.perf_counter()
+    result = solve_labeling(Graph(n, edges), LpSpec(p), engine=engine)
+    seconds = time.perf_counter() - t0
+    return (
+        key,
+        result.labeling.labels,
+        result.span,
+        result.engine,
+        result.exact,
+        seconds,
+    )
+
+
+class BatchSolver:
+    """Deduplicating, cache-backed, process-parallel request solver.
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`ResultCache`; ``None`` disables memoization entirely
+        (every request is solved — the baseline the benchmarks compare
+        against).
+    workers:
+        Process-pool width for cache misses (``None`` = library default).
+    small_n / chunk:
+        Sharding policy: instances with ``n <= small_n`` are chunked
+        ``chunk`` per pool task, larger ones are scheduled individually.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        workers: int | None = None,
+        small_n: int = SMALL_INSTANCE_N,
+        chunk: int = SMALL_CHUNK,
+    ) -> None:
+        self.cache = cache
+        self.workers = workers
+        self.small_n = small_n
+        self.chunk = chunk
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self, requests: list[SolveRequest]
+    ) -> tuple[list[ServiceResult], BatchReport]:
+        """Answer every request; returns results in request order + report."""
+        t0 = time.perf_counter()
+        forms = [canonical_form(r.graph, r.spec) for r in requests]
+        keys = [
+            _composed_key(form, req) for form, req in zip(forms, requests)
+        ]
+
+        # Pass 1: split requests into cache hits, job owners and duplicates.
+        results: list[ServiceResult | None] = [None] * len(requests)
+        owners: dict[str, int] = {}       # key -> request index that solves it
+        duplicates: list[int] = []
+        cache_hits = 0
+        for i, (req, form, key) in enumerate(zip(requests, forms, keys)):
+            if key in owners:
+                duplicates.append(i)
+                continue
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is not None:
+                cache_hits += 1
+                results[i] = _answer(req, form, key, entry, cached=True)
+            else:
+                owners[key] = i
+
+        # Pass 2: solve each owned job once, in canonical coordinates.
+        jobs = []
+        for key, i in owners.items():
+            form = forms[i]
+            jobs.append(
+                (key, form.n, form.edges, requests[i].spec.p, requests[i].engine)
+            )
+        small = [j for j in jobs if j[1] <= self.small_n]
+        large = [j for j in jobs if j[1] > self.small_n]
+        outcomes = []
+        if small:
+            outcomes += parallel_map(
+                _solve_job, small, workers=self.workers, chunksize=self.chunk
+            )
+        if large:
+            outcomes += parallel_map(
+                _solve_job, large, workers=self.workers, chunksize=1
+            )
+
+        engine_seconds: dict[str, float] = {}
+        for key, labels, span, engine, exact, seconds in outcomes:
+            entry = CachedSolve(
+                labels=labels, span=span, engine=engine, exact=exact
+            )
+            if self.cache is not None:
+                self.cache.put(key, entry)
+            i = owners[key]
+            results[i] = _answer(
+                requests[i], forms[i], key, entry, cached=False, seconds=seconds
+            )
+            engine_seconds[engine] = engine_seconds.get(engine, 0.0) + seconds
+
+        # Pass 3: duplicates resolve through the now-warm cache (counted as
+        # hits there, which is what they are from the service's viewpoint).
+        for i in duplicates:
+            entry = (
+                self.cache.get(keys[i])
+                if self.cache is not None
+                else None
+            )
+            if entry is None:
+                # cache disabled (or entry evicted mid-batch): reuse the
+                # owner's in-batch answer, translated to this request's order
+                owner = results[owners[keys[i]]]
+                assert owner is not None
+                entry = CachedSolve(
+                    labels=forms[owners[keys[i]]].to_canonical_labels(
+                        owner.labeling.labels
+                    ),
+                    span=owner.span,
+                    engine=owner.engine,
+                    exact=owner.exact,
+                )
+            results[i] = _answer(requests[i], forms[i], keys[i], entry, cached=True)
+
+        wall = time.perf_counter() - t0
+        report = BatchReport(
+            total=len(requests),
+            unique=len(set(keys)),
+            cache_hits=cache_hits,
+            deduped=len(duplicates),
+            solved=len(jobs),
+            wall_seconds=wall,
+            engine_seconds=engine_seconds,
+        )
+        final = [r for r in results if r is not None]
+        assert len(final) == len(requests), "every request must be answered"
+        return final, report
+
+
+def _composed_key(form: CanonicalForm, req: SolveRequest) -> str:
+    """Cache key: canonical (graph, spec) hash plus the requested engine.
+
+    The engine is part of the key because heuristic engines answer with
+    different spans; a request for ``held_karp`` must never be served a
+    cached ``two_opt`` labeling.  ``auto`` is deterministic in the canonical
+    graph, so it composes consistently.
+    """
+    return f"{form.key}:{req.engine}"
+
+
+def _answer(
+    req: SolveRequest,
+    form: CanonicalForm,
+    key: str,
+    entry: CachedSolve,
+    cached: bool,
+    seconds: float = 0.0,
+) -> ServiceResult:
+    """Translate a canonical-coordinate entry into the request's own order."""
+    labeling = Labeling(form.from_canonical_labels(entry.labels))
+    return ServiceResult(
+        labeling=labeling,
+        span=entry.span,
+        engine=entry.engine,
+        exact=entry.exact,
+        cached=cached,
+        key=key,
+        seconds=seconds,
+        tag=req.tag,
+    )

@@ -6,15 +6,19 @@ raised.  :class:`LabelingSession` wraps the solver with mutate-and-resolve
 semantics and keeps the assignment history, so the examples (and downstream
 users) can model a living network instead of a frozen graph.
 
-Re-solving is from scratch (the reduction is ``O(nm)`` and the engines are
-the cost anyway); the session's value is bookkeeping: it re-validates after
-every mutation, records span trajectories, and reports which vertices'
-frequencies changed between assignments.
+Re-solving goes through a :class:`repro.service.LabelingService` when one
+is supplied — mutate-and-resolve loops that revisit a topology (undo, A/B
+probing, oscillating links) then get warm cache hits — and falls back to a
+from-scratch :func:`solve_labeling` otherwise.  The session's own value is
+bookkeeping: it re-validates after every mutation, records span
+trajectories, and reports which vertices' frequencies changed between
+assignments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import GraphError, ReductionNotApplicableError
 from repro.graphs.graph import Graph
@@ -23,6 +27,10 @@ from repro.labeling.spec import LpSpec
 from repro.reduction.solver import SolveResult, solve_labeling
 from repro.reduction.validation import analyze
 
+if TYPE_CHECKING:
+    from repro.service.api import LabelingService
+    from repro.service.batch import ServiceResult
+
 
 @dataclass(frozen=True)
 class AssignmentDelta:
@@ -30,11 +38,30 @@ class AssignmentDelta:
 
     span_before: int
     span_after: int
-    relabeled: tuple[int, ...]   # vertices whose label changed
+    relabeled: tuple[int, ...]   # pre-existing vertices whose label changed
+    added: tuple[int, ...] = ()  # vertices that did not exist before
 
     @property
     def span_change(self) -> int:
         return self.span_after - self.span_before
+
+
+def _diff_labels(
+    old: Sequence[int], new: Sequence[int]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Split a label diff into ``(relabeled, added)`` vertex tuples.
+
+    ``relabeled`` holds vertices present in both assignments whose label
+    changed; ``added`` holds vertices that exist only in the new one.  A
+    fresh vertex never counts as relabeled — it had no label to change.
+
+    >>> _diff_labels((0, 2, 4), (0, 3, 4, 6))
+    ((1,), (3,))
+    """
+    common = min(len(old), len(new))
+    relabeled = tuple(v for v in range(common) if old[v] != new[v])
+    added = tuple(range(common, len(new)))
+    return relabeled, added
 
 
 class LabelingSession:
@@ -52,11 +79,18 @@ class LabelingSession:
     2
     """
 
-    def __init__(self, graph: Graph, spec: LpSpec, engine: str = "auto"):
+    def __init__(
+        self,
+        graph: Graph,
+        spec: LpSpec,
+        engine: str = "auto",
+        service: "LabelingService | None" = None,
+    ):
         self._graph = graph.copy()
         self.spec = spec
         self.engine = engine
-        self._history: list[SolveResult] = []
+        self.service = service
+        self._history: list[SolveResult | ServiceResult] = []
         self._resolve()
 
     # ------------------------------------------------------------------
@@ -66,7 +100,13 @@ class LabelingSession:
         return self._graph.copy()
 
     @property
-    def current(self) -> SolveResult:
+    def current(self) -> "SolveResult | ServiceResult":
+        """The latest solve.
+
+        A plain :class:`SolveResult`, or a :class:`ServiceResult` when the
+        session routes through a service — the latter has no ``path`` or
+        ``reduced`` instance (cache hits never materialize them).
+        """
         return self._history[-1]
 
     @property
@@ -78,7 +118,7 @@ class LabelingSession:
         return self.current.span
 
     @property
-    def history(self) -> list[SolveResult]:
+    def history(self) -> "list[SolveResult | ServiceResult]":
         return list(self._history)
 
     def span_trajectory(self) -> list[int]:
@@ -127,21 +167,26 @@ class LabelingSession:
         self._resolve()
         if before is None:
             return AssignmentDelta(self.span, self.span, ())
-        old = before.labeling.labels
-        new = self.current.labeling.labels
-        common = min(len(old), len(new))
-        relabeled = tuple(
-            v for v in range(common) if old[v] != new[v]
-        ) + tuple(range(common, len(new)))
-        return AssignmentDelta(before.span, self.span, relabeled)
+        relabeled, added = _diff_labels(
+            before.labeling.labels, self.current.labeling.labels
+        )
+        return AssignmentDelta(before.span, self.span, relabeled, added)
 
     def _resolve(self) -> None:
-        result = solve_labeling(self._graph, self.spec, engine=self.engine)
+        if self.service is not None:
+            result = self.service.submit(self._graph, self.spec, engine=self.engine)
+        else:
+            result = solve_labeling(self._graph, self.spec, engine=self.engine)
         self._history.append(result)
 
 
 def session_for_radio_network(
-    n: int, radius: float, spec: LpSpec, seed: int = 0, engine: str = "auto"
+    n: int,
+    radius: float,
+    spec: LpSpec,
+    seed: int = 0,
+    engine: str = "auto",
+    service: "LabelingService | None" = None,
 ) -> tuple[LabelingSession, "object"]:
     """Convenience: a session over a random geometric deployment.
 
@@ -155,4 +200,4 @@ def session_for_radio_network(
         raise GraphError(
             "deployment not applicable (too sparse?); raise the radius"
         )
-    return LabelingSession(graph, spec, engine=engine), pos
+    return LabelingSession(graph, spec, engine=engine, service=service), pos

@@ -9,7 +9,7 @@ from scratch:
   free endpoints, 1.5), double-tree (2);
 * heuristics: nearest-neighbour, greedy-edge, insertion constructions, 2-opt,
   Or-opt, 3-opt local search, and an LK-style iterated local search standing
-  in for LKH/Concorde (see DESIGN.md substitution table);
+  in for LKH/Concorde (the substitution ARCHITECTURE.md notes);
 * support: dense Prim MST, minimum-weight perfect matching (exact bitmask DP
   plus heuristic), Eulerian trails with shortcutting.
 """

@@ -5,8 +5,7 @@ Theorem-2 reduction produces a path TSP in which *both endpoints are free*,
 and Hoogeveen (1991) showed that in this regime the Christofides recipe with
 a *near-perfect* matching achieves ratio 3/2.  (The paper cites Zenklusen's
 deterministic 1.5 for the harder fixed-endpoint variant; with free endpoints
-the classical algorithm already meets the same constant — see the DESIGN.md
-substitution table.)
+the classical algorithm already meets the same constant.)
 
 Recipe:
 

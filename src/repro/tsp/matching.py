@@ -17,7 +17,7 @@ Two engines:
 
 The blossom algorithm would give exact polynomial matching; at reproduction
 scale the DP is exact where the 1.5-ratio claims are *tested*, which is what
-the paper's Corollary 1 needs (see DESIGN.md substitution table).
+the paper's Corollary 1 needs.
 """
 
 from __future__ import annotations

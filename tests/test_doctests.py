@@ -34,6 +34,10 @@ MODULES = [
     "repro.partition.neighborhood_diversity",
     "repro.partition.coloring",
     "repro.partition.l1_labeling",
+    "repro.service.canonical",
+    "repro.service.cache",
+    "repro.service.api",
+    "repro.session",
 ]
 
 

@@ -90,6 +90,31 @@ class TestEdgeListIO:
             read_edge_list(io.StringIO("3 2\n0 1\n"))
 
 
+class TestEdgeListStream:
+    def test_multiple_blocks(self, small_graph_zoo):
+        from repro.graphs.io import read_edge_list_stream
+        text = "".join(to_edge_list_string(g) for g in small_graph_zoo)
+        got = list(read_edge_list_stream(io.StringIO(text)))
+        assert got == small_graph_zoo
+
+    def test_blank_lines_between_blocks(self):
+        from repro.graphs.io import read_edge_list_stream
+        text = "2 1\n0 1\n\n\n3 2\n0 1\n1 2\n"
+        got = list(read_edge_list_stream(io.StringIO(text)))
+        assert [g.n for g in got] == [2, 3]
+
+    def test_truncated_block(self):
+        from repro.graphs.io import read_edge_list_stream
+        with pytest.raises(GraphError):
+            list(read_edge_list_stream(io.StringIO("3 2\n0 1\n")))
+
+    def test_duplicate_edge_mismatch(self):
+        # duplicate edge lines coalesce; header count must match the graph
+        from repro.graphs.io import read_edge_list_stream
+        with pytest.raises(GraphError):
+            list(read_edge_list_stream(io.StringIO("3 3\n0 1\n0 1\n1 2\n")))
+
+
 class TestDimacsIO:
     def test_roundtrip(self, tmp_path):
         g = gen.cycle_graph(5)

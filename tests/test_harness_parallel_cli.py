@@ -145,6 +145,58 @@ class TestCli:
         rows = [line.split() for line in out.strip().splitlines()]
         assert rows[0] == ["0", "2", "1"]
 
+    def test_solve_json_record(self):
+        import json
+        code, out = self.run_cli(
+            ["solve", "-", "-p", "2,1", "--json", "--labels"],
+            stdin_text="3 3\n0 1\n1 2\n0 2\n",
+        )
+        assert code == 0
+        record = json.loads(out)
+        assert record["span"] == 4 and record["exact"] is True
+        assert record["n"] == 3 and record["p"] == [2, 1]
+        assert len(record["labels"]) == 3
+
+    def test_batch_from_stdin_stream(self, capfd):
+        import json
+        block = "3 3\n0 1\n1 2\n0 2\n"
+        code, out = self.run_cli(
+            ["batch", "-", "-p", "2,1", "--workers", "1"],
+            stdin_text=block * 3,
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert [r["span"] for r in records] == [4, 4, 4]
+        assert [r["cached"] for r in records] == [False, True, True]
+        summary = json.loads(capfd.readouterr().err.strip().splitlines()[-1])
+        assert summary["report"]["total"] == 3
+        assert summary["report"]["solved"] == 1
+
+    def test_batch_from_directory_with_cache(self, tmp_path, capfd):
+        import json
+        from repro.graphs import io as gio
+        gdir = tmp_path / "graphs"
+        gdir.mkdir()
+        for seed in (0, 1):
+            g = gen.random_graph_with_diameter_at_most(8, 2, seed=seed)
+            gio.write_edge_list(g, gdir / f"g{seed}.edges")
+        cache = tmp_path / "cache.json"
+        code, _ = self.run_cli(["batch", str(gdir), "--cache", str(cache),
+                                "--workers", "1", "--engine", "held_karp"])
+        assert code == 0 and cache.exists()
+        capfd.readouterr()
+        # second run over the same directory is served entirely from disk
+        code, out = self.run_cli(["batch", str(gdir), "--cache", str(cache),
+                                  "--workers", "1", "--engine", "held_karp"])
+        assert code == 0
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert all(r["cached"] for r in records)
+        assert sorted(r["tag"] for r in records) == ["g0.edges", "g1.edges"]
+
+    def test_batch_rejects_bad_source(self):
+        with pytest.raises(SystemExit):
+            self.run_cli(["batch", "/definitely/not/a/dir"])
+
     def test_unknown_experiment_id(self):
         code, out = self.run_cli(["experiment", "E99"])
         assert code == 2

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for the paper's key invariants.
 
 Strategies generate random graphs and constraint vectors; each property is
-one of the invariants listed in DESIGN.md §5.
+an invariant of the paper's framework (feasibility, optimality, symmetry).
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Canonical form tests: relabeling invariance and practical non-collision."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.operations import disjoint_union, relabel
+from repro.labeling.spec import L11, L21, LpSpec
+from repro.service.canonical import canonical_form, canonical_order
+
+
+def random_relabel(graph: Graph, seed: int) -> Graph:
+    perm = np.random.default_rng(seed).permutation(graph.n).tolist()
+    return relabel(graph, perm)
+
+
+def are_isomorphic_bruteforce(a: Graph, b: Graph) -> bool:
+    """Exhaustive isomorphism check — only for tiny graphs (n <= 8)."""
+    if a.n != b.n or a.m != b.m:
+        return False
+    edges_b = set(b.edges())
+    for perm in itertools.permutations(range(a.n)):
+        mapped = {
+            (min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in a.edges()
+        }
+        if mapped == edges_b:
+            return True
+    return False
+
+
+FAMILIES = {
+    "diam2": lambda seed: gen.random_graph_with_diameter_at_most(
+        14, 2, seed=seed
+    ),
+    "diam3": lambda seed: gen.random_graph_with_diameter_at_most(
+        18, 3, seed=seed
+    ),
+    "geometric": lambda seed: gen.random_geometric_graph(
+        16, 0.6, seed=seed
+    )[0],
+    "gnp": lambda seed: gen.random_connected_gnp(12, 0.4, seed=seed),
+    "cycle": lambda seed: gen.cycle_graph(7 + seed),
+    "wheel": lambda seed: gen.wheel_graph(6 + seed),
+    "complete_bipartite": lambda seed: gen.complete_bipartite_graph(
+        3 + seed, 5
+    ),
+    "complete": lambda seed: gen.complete_graph(5 + seed),
+}
+
+
+class TestRelabelingInvariance:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_relabeled_copies_share_keys(self, family, seed):
+        g = FAMILIES[family](seed)
+        reference = canonical_form(g, L21)
+        for perm_seed in range(4):
+            h = random_relabel(g, 1000 * seed + perm_seed)
+            assert canonical_form(h, L21).key == reference.key, (
+                f"{family} seed={seed} perm={perm_seed}: key not invariant"
+            )
+
+    def test_key_depends_on_spec(self):
+        g = gen.cycle_graph(6)
+        assert canonical_form(g, L21).key != canonical_form(g, L11).key
+        assert canonical_form(g, L21).key != canonical_form(g, LpSpec((2, 2))).key
+
+    def test_trivial_graphs(self):
+        assert canonical_order(Graph(0)) == ()
+        assert canonical_order(Graph(1)) == (0,)
+        a = canonical_form(Graph(2, [(0, 1)]), L21)
+        b = canonical_form(Graph(2, [(0, 1)]), L21)
+        assert a.key == b.key
+
+
+class TestCanonicalStructure:
+    def test_order_is_permutation(self):
+        g = gen.random_graph_with_diameter_at_most(20, 2, seed=7)
+        order = canonical_order(g)
+        assert sorted(order) == list(range(g.n))
+
+    def test_canonical_edges_define_isomorphic_graph(self):
+        g = gen.random_connected_gnp(10, 0.5, seed=3)
+        form = canonical_form(g, L21)
+        h = Graph(form.n, form.edges)
+        assert h.m == g.m
+        assert sorted(h.degrees()) == sorted(g.degrees())
+
+    def test_label_roundtrip_through_canonical_coordinates(self):
+        g = gen.random_graph_with_diameter_at_most(10, 2, seed=5)
+        form = canonical_form(g, L21)
+        labels = tuple(range(g.n))
+        assert form.from_canonical_labels(form.to_canonical_labels(labels)) == labels
+
+    def test_isomorphic_requests_share_canonical_graph(self):
+        # the cache-soundness property: equal keys must mean the canonical
+        # edge sets coincide, so labelings transfer through the positions
+        g = gen.random_connected_gnp(9, 0.45, seed=11)
+        h = random_relabel(g, 42)
+        fg, fh = canonical_form(g, L21), canonical_form(h, L21)
+        assert fg.key == fh.key
+        assert fg.edges == fh.edges
+
+
+class TestNonCollision:
+    def test_c6_vs_two_triangles(self):
+        # the classic equal-degree-sequence pair (all vertices degree 2)
+        c6 = gen.cycle_graph(6)
+        kk = disjoint_union(gen.cycle_graph(3), gen.cycle_graph(3))
+        assert not are_isomorphic_bruteforce(c6, kk)
+        assert canonical_form(c6, L21).key != canonical_form(kk, L21).key
+
+    def test_nonisomorphic_trees_same_degree_sequence(self):
+        # two trees on 7 vertices, degree sequence [1,1,1,1,2,2,3] each
+        t1 = Graph(7, [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 6)])
+        t2 = Graph(7, [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (5, 6)])
+        assert sorted(t1.degrees()) == sorted(t2.degrees())
+        assert not are_isomorphic_bruteforce(t1, t2)
+        assert canonical_form(t1, L21).key != canonical_form(t2, L21).key
+
+    def test_random_equal_degree_sequence_pairs(self):
+        # double-edge-swap preserves the degree sequence but (almost always)
+        # changes the isomorphism class; verified by brute force on n=8
+        rng = np.random.default_rng(0)
+        checked = 0
+        for seed in range(20):
+            g = gen.random_connected_gnp(8, 0.4, seed=seed)
+            h = _double_edge_swap(g, rng)
+            if h is None or are_isomorphic_bruteforce(g, h):
+                continue
+            checked += 1
+            assert canonical_form(g, L21).key != canonical_form(h, L21).key, (
+                f"collision for non-isomorphic equal-degree pair, seed={seed}"
+            )
+        assert checked >= 5  # the sweep must actually exercise distinct pairs
+
+    def test_distinct_random_graphs_distinct_keys(self):
+        keys = set()
+        graphs = []
+        for seed in range(15):
+            g = gen.random_graph_with_diameter_at_most(12, 2, seed=seed)
+            if any(g == other for other in graphs):
+                continue
+            graphs.append(g)
+            keys.add(canonical_form(g, L21).key)
+        assert len(keys) == len(graphs)
+
+
+def _double_edge_swap(graph: Graph, rng: np.random.Generator) -> Graph | None:
+    """Swap endpoints of two disjoint edges: {a,b},{c,d} -> {a,d},{c,b}."""
+    edges = list(graph.edges())
+    for _ in range(100):
+        i, j = rng.integers(0, len(edges), size=2)
+        (a, b), (c, d) = edges[i], edges[int(j)]
+        if len({a, b, c, d}) != 4:
+            continue
+        if graph.has_edge(a, d) or graph.has_edge(c, b):
+            continue
+        h = graph.copy()
+        h.remove_edge(a, b)
+        h.remove_edge(c, d)
+        h.add_edge(a, d)
+        h.add_edge(c, b)
+        return h
+    return None

@@ -62,6 +62,17 @@ class TestSessionBasics:
         new = s.history[-1].labeling.labels
         expected = tuple(v for v in range(5) if old[v] != new[v])
         assert delta.relabeled == expected
+        assert delta.added == ()   # no growth: nothing reported as added
+
+    def test_added_vertex_not_in_relabeled(self):
+        s = LabelingSession(gen.complete_graph(3), L21, engine="held_karp")
+        trial = s.graph
+        v = trial.add_vertex()
+        for u in (0, 1, 2):
+            trial.add_edge(u, v)
+        delta = s._commit(trial)
+        assert delta.added == (v,)
+        assert all(u < v for u in delta.relabeled)
 
 
 class TestRadioNetworkFactory:
