@@ -3,13 +3,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint experiments
+.PHONY: test bench bench-quick lint experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+# assertion-only pass over the APSP/oracle benchmark (fast enough for CI)
+bench-quick:
+	$(PYTHON) -m pytest benchmarks/bench_e12_apsp_oracle.py -q --benchmark-disable
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

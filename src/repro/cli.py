@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``solve``      solve L(p)-labeling for a graph file (edge-list or DIMACS)
 ``batch``      solve many graphs through the caching batch service
+``stats``      structural summary of a graph off one shared GraphAnalysis
 ``reduce``     print the reduced metric path-TSP weight matrix
 ``experiment`` run experiments from the E1–E11 reproduction suite
 ``generate``   emit a workload graph as an edge list (for piping)
@@ -18,6 +19,7 @@ import sys
 from pathlib import Path
 
 from repro.graphs import io as gio
+from repro.graphs.analysis import get_analysis
 from repro.harness.experiments import ALL_EXPERIMENTS, main as run_experiments
 from repro.harness.workloads import WORKLOADS, make_workload
 from repro.labeling.spec import LpSpec
@@ -102,6 +104,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    a = get_analysis(graph)
+    connected = a.is_connected
+    record = {
+        "n": a.n,
+        "m": a.m,
+        "components": a.component_count,
+        "max_degree": a.max_degree,
+        "degree_histogram": a.degree_histogram().tolist(),
+        "diameter": a.diameter if connected else None,
+        "radius": a.radius if connected else None,
+    }
+    if args.json:
+        print(json.dumps(record))
+        return 0
+    print(f"n: {record['n']}")
+    print(f"m: {record['m']}")
+    print(f"components: {record['components']}")
+    if connected:
+        print(f"diameter: {record['diameter']}")
+        print(f"radius: {record['radius']}")
+    else:
+        print("diameter: n/a (disconnected)")
+        print("radius: n/a (disconnected)")
+    print(f"max degree: {record['max_degree']}")
+    print("degree histogram (degree: count):")
+    for degree, count in enumerate(record["degree_histogram"]):
+        if count:
+            print(f"  {degree}: {count}")
+    return 0
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     spec = _parse_spec(args.p)
@@ -167,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("--labels", action="store_true", help="include labels in records")
     b.set_defaults(fn=_cmd_batch)
+
+    st = sub.add_parser(
+        "stats",
+        help="structural graph summary (n, m, diameter, radius, degrees, components)",
+    )
+    st.add_argument("graph", help="edge-list file, .col/.dimacs file, or - for stdin")
+    st.add_argument("--json", action="store_true", help="emit one JSON record")
+    st.set_defaults(fn=_cmd_stats)
 
     r = sub.add_parser("reduce", help="print the reduced TSP weight matrix")
     r.add_argument("graph")

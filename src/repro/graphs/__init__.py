@@ -5,12 +5,15 @@ library and NumPy; ``networkx`` is used only in the test-suite as an oracle.
 """
 
 from repro.graphs.graph import Graph
+from repro.graphs.analysis import GraphAnalysis, get_analysis
 from repro.graphs.traversal import (
     bfs_distances,
     all_pairs_distances,
+    all_pairs_distances_reference,
     connected_components,
     is_connected,
     eccentricity,
+    eccentricities,
     diameter,
     radius,
 )
@@ -29,11 +32,15 @@ from repro.graphs import io
 
 __all__ = [
     "Graph",
+    "GraphAnalysis",
+    "get_analysis",
     "bfs_distances",
     "all_pairs_distances",
+    "all_pairs_distances_reference",
     "connected_components",
     "is_connected",
     "eccentricity",
+    "eccentricities",
     "diameter",
     "radius",
     "complement",

@@ -1,0 +1,284 @@
+"""Per-graph memoized analysis oracle — one APSP per graph version.
+
+Every layer of this library runs on derived data of the same graph: the
+reduction needs the distance matrix, applicability checks need connectivity
+and the diameter, verification re-reads distances, canonicalization refines
+over them, ``graph_power`` gathers them.  Before this module each consumer
+recomputed from scratch, so one end-to-end solve paid for APSP three to four
+times.  :class:`GraphAnalysis` computes each quantity lazily, exactly once,
+and :func:`get_analysis` memoizes the whole object on the graph instance,
+invalidated by the :attr:`Graph.version` mutation counter — the shared
+runtime-cache discipline the ROADMAP's scaling goal calls for.
+
+The invariant exported to the rest of the codebase:
+
+    **a graph's distance matrix is computed at most once per graph
+    version within a process** (asserted in tests via
+    :func:`repro.graphs.traversal.apsp_run_count`).
+
+Cheap scalar facts (connectivity, degrees, components) are derived without
+touching the APSP, so fail-fast paths — e.g. rejecting a disconnected graph
+— never pay for the full matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    all_pairs_distances,
+    connected_components,
+    is_connected,
+)
+
+
+class GraphAnalysis:
+    """Lazily computed, immutable-by-convention facts about one graph.
+
+    Snapshot semantics: the analysis is bound to ``graph.version`` at
+    construction.  Mutating the graph afterwards does not corrupt the
+    analysis — it keeps describing the old version — but
+    :func:`get_analysis` will build a fresh one.
+
+    Eagerly built (cheap, ``O(n + m)``): CSR adjacency arrays
+    (``indptr``/``indices``, neighbour lists sorted), the degree vector and
+    its aggregates.  Lazily built on first access: ``distances`` (the
+    vectorized APSP), ``components``, ``eccentricities`` and the
+    ``diameter``/``radius`` scalars.
+
+    >>> from repro.graphs.generators import cycle_graph
+    >>> a = get_analysis(cycle_graph(5))
+    >>> a.diameter, a.radius, a.component_count
+    (2, 2, 1)
+    >>> a.distances[0].tolist()
+    [0, 1, 2, 2, 1]
+    """
+
+    __slots__ = (
+        "graph",
+        "version",
+        "n",
+        "m",
+        "degrees",
+        "_indptr",
+        "_indices",
+        "_distances",
+        "_components",
+        "_connected",
+        "_eccentricities",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.version = graph.version
+        self.n = graph.n
+        self.m = graph.m
+        self.degrees = np.fromiter(
+            (len(s) for s in graph._adj), dtype=np.int64, count=self.n
+        )
+        self._indptr: np.ndarray | None = None
+        self._indices: np.ndarray | None = None
+        self._distances: np.ndarray | None = None
+        self._components: list[list[int]] | None = None
+        self._connected: bool | None = None
+        self._eccentricities: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # freshness
+    # ------------------------------------------------------------------
+    def is_current(self) -> bool:
+        """True while the underlying graph has not been mutated since."""
+        return self.version == self.graph.version
+
+    def _require_current(self) -> None:
+        """Lazy computations must not read a graph that moved on.
+
+        Cached values stay servable after a mutation (they still describe
+        the snapshot version), but deriving *new* facts from the mutated
+        adjacency would silently mix versions.
+        """
+        if not self.is_current():
+            raise ValueError(
+                "GraphAnalysis is stale: the graph was mutated after this "
+                "analysis was built (use get_analysis for a fresh one)"
+            )
+
+    # ------------------------------------------------------------------
+    # degree statistics (no traversal needed)
+    # ------------------------------------------------------------------
+    @property
+    def max_degree(self) -> int:
+        """Δ — the maximum degree (0 for the empty graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    def degree_histogram(self) -> np.ndarray:
+        """``h[d]`` = number of vertices of degree ``d``."""
+        if self.n == 0:
+            return np.zeros(1, dtype=np.int64)
+        return np.bincount(self.degrees, minlength=self.max_degree + 1)
+
+    # ------------------------------------------------------------------
+    # CSR adjacency (lazy; only the stats paths read it)
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointers: ``indices[indptr[v]:indptr[v+1]]`` is ``N(v)``."""
+        if self._indptr is None:
+            self._indptr = np.concatenate(
+                ([0], np.cumsum(self.degrees))
+            ).astype(np.int64)
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices; each vertex's neighbour run is sorted."""
+        if self._indices is None:
+            self._require_current()
+            indptr = self.indptr
+            indices = np.empty(2 * self.m, dtype=np.int64)
+            for v, nbrs in enumerate(self.graph._adj):
+                indices[indptr[v]:indptr[v + 1]] = sorted(nbrs)
+            self._indices = indices
+        return self._indices
+
+    def neighbors_array(self, v: int) -> np.ndarray:
+        """``N(v)`` as a sorted array view into the CSR ``indices``."""
+        self.graph._check_vertex(v)
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    # connectivity (single BFS — never triggers the APSP)
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        """One-component check from a single BFS (cached)."""
+        if self._connected is None:
+            if self._distances is not None:
+                self._connected = bool(
+                    np.all(self._distances != UNREACHABLE)
+                )
+            else:
+                self._require_current()
+                self._connected = is_connected(self.graph)
+        return self._connected
+
+    @property
+    def components(self) -> list[list[int]]:
+        """Connected components, each sorted, in order of smallest member."""
+        if self._components is None:
+            self._require_current()
+            self._components = connected_components(self.graph)
+            if self._connected is None:
+                self._connected = len(self._components) <= 1
+        return self._components
+
+    @property
+    def component_count(self) -> int:
+        return len(self.components)
+
+    # ------------------------------------------------------------------
+    # distances (the one-per-version APSP)
+    # ------------------------------------------------------------------
+    @property
+    def distances(self) -> np.ndarray:
+        """The full ``n x n`` distance matrix, computed on first access."""
+        if self._distances is None:
+            self._require_current()
+            self._distances = all_pairs_distances(self.graph)
+        return self._distances
+
+    @property
+    def eccentricities(self) -> np.ndarray:
+        """Per-vertex eccentricity vector; raises when disconnected.
+
+        The connectivity pre-check is a single BFS, so disconnected input
+        fails before any APSP is spent.
+        """
+        if self._eccentricities is None:
+            if not self.is_connected:
+                raise DisconnectedGraphError(
+                    "eccentricity undefined: graph is disconnected"
+                )
+            if self.n == 0:
+                self._eccentricities = np.zeros(0, dtype=np.int64)
+            else:
+                self._eccentricities = self.distances.max(axis=1)
+        return self._eccentricities
+
+    @property
+    def diameter(self) -> int:
+        """``max_v ecc(v)``; 0 for at most one vertex, raises if disconnected."""
+        if self.n <= 1:
+            return 0
+        return int(self.eccentricities.max())
+
+    @property
+    def radius(self) -> int:
+        """``min_v ecc(v)``; 0 for at most one vertex, raises if disconnected."""
+        if self.n <= 1:
+            return 0
+        return int(self.eccentricities.min())
+
+
+def get_analysis(graph: Graph) -> GraphAnalysis:
+    """The memoized :class:`GraphAnalysis` for the graph's current version.
+
+    Returns the cached instance while the graph is unmutated; builds (and
+    caches) a fresh one after any ``add_edge``/``remove_edge``/``add_vertex``.
+
+    >>> from repro.graphs.generators import path_graph
+    >>> g = path_graph(4)
+    >>> get_analysis(g) is get_analysis(g)
+    True
+    >>> a = get_analysis(g); g.add_edge(0, 3)
+    >>> get_analysis(g) is a
+    False
+    """
+    cached = graph._analysis
+    if cached is not None and cached.version == graph.version:
+        return cached
+    analysis = GraphAnalysis(graph)
+    graph._analysis = analysis
+    return analysis
+
+
+def ensure_current(
+    graph: Graph, analysis: GraphAnalysis | None
+) -> GraphAnalysis:
+    """Validate a forwarded analysis, or fetch the graph's memoized one.
+
+    Entry points that accept an ``analysis=`` parameter route through this
+    so a stale or foreign analysis can never silently feed a solve *and*
+    its verification — the failure mode a shared matrix would otherwise
+    make undetectable.
+    """
+    if analysis is None:
+        return get_analysis(graph)
+    if analysis.graph is not graph or not analysis.is_current():
+        raise ValueError(
+            "forwarded GraphAnalysis is stale or belongs to a different graph"
+        )
+    return analysis
+
+
+def attach_distances(graph: Graph, distances: np.ndarray) -> GraphAnalysis:
+    """Seed the graph's oracle with an externally derived distance matrix.
+
+    For callers that *already know* the matrix — e.g. the batch service,
+    whose canonical graph's distances are a permutation of the request
+    graph's — this installs it so downstream layers (reduction, verify)
+    never recompute.  The caller vouches for correctness; shape is checked,
+    content is trusted.
+    """
+    distances = np.asarray(distances, dtype=np.int64)
+    if distances.shape != (graph.n, graph.n):
+        raise ValueError(
+            f"distance matrix shape {distances.shape} does not match n={graph.n}"
+        )
+    analysis = GraphAnalysis(graph)
+    analysis._distances = distances
+    graph._analysis = analysis
+    return analysis

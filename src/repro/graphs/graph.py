@@ -36,7 +36,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_version", "_analysis")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if n < 0:
@@ -44,6 +44,8 @@ class Graph:
         self._n = int(n)
         self._adj: list[set[int]] = [set() for _ in range(self._n)]
         self._m = 0
+        self._version = 0
+        self._analysis = None     # memoized GraphAnalysis (see graphs.analysis)
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -94,6 +96,7 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._m += 1
+            self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``{u, v}``; raises if it is absent."""
@@ -104,11 +107,13 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._m -= 1
+        self._version += 1
 
     def add_vertex(self) -> int:
         """Append an isolated vertex and return its id."""
         self._adj.append(set())
         self._n += 1
+        self._version += 1
         return self._n - 1
 
     # ------------------------------------------------------------------
@@ -123,6 +128,16 @@ class Graph:
     def m(self) -> int:
         """Number of edges."""
         return self._m
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every structural change.
+
+        :func:`repro.graphs.analysis.get_analysis` memoizes derived data
+        (APSP, eccentricities, components) against this counter, so a stale
+        analysis can never be served after an ``add_edge``/``remove_edge``.
+        """
+        return self._version
 
     def vertices(self) -> range:
         """The vertex ids ``0..n-1``."""

@@ -13,8 +13,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances
 
 
 def complement(graph: Graph) -> Graph:
@@ -41,7 +41,7 @@ def graph_power(graph: Graph, k: int) -> Graph:
     """
     if k < 1:
         raise GraphError(f"graph power requires k >= 1, got {k}")
-    dist = all_pairs_distances(graph)
+    dist = get_analysis(graph).distances
     within = (dist >= 1) & (dist <= k)
     return Graph.from_adjacency_matrix(within)
 

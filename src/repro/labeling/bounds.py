@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances
 from repro.labeling.spec import LpSpec
 
 
@@ -32,7 +32,7 @@ def lower_bound(graph: Graph, spec: LpSpec, dist: np.ndarray | None = None) -> i
     if n <= 1:
         return 0
     if dist is None:
-        dist = all_pairs_distances(graph)
+        dist = get_analysis(graph).distances
     best = 0
 
     if graph.m > 0:

@@ -17,11 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InfeasibleInstanceError, ReproError
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances
 from repro.labeling.bounds import lower_bound
 from repro.labeling.greedy import greedy_labeling
-from repro.labeling.labeling import Labeling
+from repro.labeling.labeling import Labeling, requirement_matrix
 from repro.labeling.spec import LpSpec
 
 #: direct search explodes beyond this many vertices
@@ -41,12 +41,8 @@ def exact_labeling(graph: Graph, spec: LpSpec, max_n: int = MAX_EXACT_N) -> Labe
     if n == 1:
         return Labeling((0,))
 
-    dist = all_pairs_distances(graph)
-    # requirement matrix: req[u, v] = required gap for the pair (0 = free)
-    req = np.zeros((n, n), dtype=np.int64)
-    for d in range(1, spec.k + 1):
-        req[dist == d] = spec.p[d - 1]
-    np.fill_diagonal(req, 0)
+    dist = get_analysis(graph).distances
+    req = requirement_matrix(spec, dist)
 
     # vertex order: decreasing constraint mass; ties by id for determinism
     order = sorted(range(n), key=lambda v: (-int(req[v].sum()), v))
@@ -107,11 +103,8 @@ def exact_span_or_fail(graph: Graph, spec: LpSpec, span_budget: int) -> Labeling
     n = graph.n
     if n == 0:
         return Labeling(())
-    dist = all_pairs_distances(graph)
-    req = np.zeros((n, n), dtype=np.int64)
-    for d in range(1, spec.k + 1):
-        req[dist == d] = spec.p[d - 1]
-    np.fill_diagonal(req, 0)
+    dist = get_analysis(graph).distances
+    req = requirement_matrix(spec, dist)
     order = sorted(range(n), key=lambda v: (-int(req[v].sum()), v))
     found = _search(req, order, span_budget)
     if found is None:

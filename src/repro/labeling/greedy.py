@@ -13,9 +13,10 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances, bfs_distances
-from repro.labeling.labeling import Labeling
+from repro.graphs.traversal import bfs_distances
+from repro.labeling.labeling import Labeling, requirement_matrix
 from repro.labeling.spec import LpSpec
 
 Order = Literal["degree", "bfs", "id", "random"]
@@ -39,11 +40,7 @@ def greedy_labeling(
     n = graph.n
     if n == 0:
         return Labeling(())
-    dist = all_pairs_distances(graph)
-    req = np.zeros((n, n), dtype=np.int64)
-    for d in range(1, spec.k + 1):
-        req[dist == d] = spec.p[d - 1]
-    np.fill_diagonal(req, 0)
+    req = requirement_matrix(spec, get_analysis(graph).distances)
 
     perm = _resolve_order(graph, order, seed)
     labels = np.full(n, -1, dtype=np.int64)

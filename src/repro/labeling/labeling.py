@@ -14,9 +14,23 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances
 from repro.labeling.spec import LpSpec
+
+
+def requirement_matrix(spec: LpSpec, dist: np.ndarray) -> np.ndarray:
+    """``req[u, v]`` = required label gap for the pair (0 when unconstrained).
+
+    One vectorized gather ``p[dist - 1]`` over the whole matrix: pairs at
+    distance ``1..k`` pick up their ``p_d``, the diagonal (distance 0),
+    pairs beyond ``k`` and unreachable pairs all fall to 0.  Shared by the
+    feasibility checks here and the exact/greedy solvers.
+    """
+    d = np.asarray(dist)
+    p = np.asarray(spec.p, dtype=np.int64)
+    in_range = (d >= 1) & (d <= spec.k)
+    return np.where(in_range, p[np.clip(d, 1, spec.k) - 1], 0)
 
 
 @dataclass(frozen=True)
@@ -59,26 +73,29 @@ class Labeling:
     ) -> list[tuple[int, int, int, int]]:
         """All violated pairs as ``(u, v, distance, required_gap)``.
 
-        ``dist`` may be passed to reuse a precomputed distance matrix.
+        ``dist`` may be passed to reuse a precomputed distance matrix; the
+        default comes from the graph's memoized analysis oracle.  The whole
+        check is one vectorized gather-and-compare (no Python loop over
+        distance classes); the list is ordered by distance class, then by
+        ``(u, v)`` row-major — identical to the historical per-class scan.
         """
         if graph.n != self.n:
             raise ReproError(
                 f"labeling covers {self.n} vertices but graph has {graph.n}"
             )
         if dist is None:
-            dist = all_pairs_distances(graph)
+            dist = get_analysis(graph).distances
         lab = np.asarray(self.labels, dtype=np.int64)
         gaps = np.abs(lab[:, None] - lab[None, :])
-        out: list[tuple[int, int, int, int]] = []
-        for d in range(1, spec.k + 1):
-            req = spec.p[d - 1]
-            if req == 0:
-                continue
-            bad_u, bad_v = np.nonzero(np.triu(dist == d, k=1) & (gaps < req))
-            out.extend(
-                (int(u), int(v), d, req) for u, v in zip(bad_u, bad_v)
-            )
-        return out
+        req = requirement_matrix(spec, dist)
+        bad_u, bad_v = np.nonzero(np.triu(req > 0, k=1) & (gaps < req))
+        bad_d = np.asarray(dist)[bad_u, bad_v]
+        bad_req = req[bad_u, bad_v]
+        order = np.lexsort((bad_v, bad_u, bad_d))
+        return [
+            (int(bad_u[i]), int(bad_v[i]), int(bad_d[i]), int(bad_req[i]))
+            for i in order
+        ]
 
     def is_feasible(
         self, graph: Graph, spec: LpSpec, dist: np.ndarray | None = None
@@ -87,20 +104,20 @@ class Labeling:
         if graph.n != self.n:
             return False
         if dist is None:
-            dist = all_pairs_distances(graph)
+            dist = get_analysis(graph).distances
         lab = np.asarray(self.labels, dtype=np.int64)
         gaps = np.abs(lab[:, None] - lab[None, :])
-        for d in range(1, spec.k + 1):
-            req = spec.p[d - 1]
-            if req == 0:
-                continue
-            if np.any((dist == d) & (gaps < req) & ~np.eye(self.n, dtype=bool)):
-                return False
-        return True
+        req = requirement_matrix(spec, dist)
+        return not bool(np.any((req > 0) & (gaps < req)))
 
-    def require_feasible(self, graph: Graph, spec: LpSpec) -> "Labeling":
-        """Assert feasibility; raises with the first few violations listed."""
-        bad = self.violations(graph, spec)
+    def require_feasible(
+        self, graph: Graph, spec: LpSpec, dist: np.ndarray | None = None
+    ) -> "Labeling":
+        """Assert feasibility; raises with the first few violations listed.
+
+        ``dist`` may be passed to reuse a precomputed distance matrix.
+        """
+        bad = self.violations(graph, spec, dist=dist)
         if bad:
             head = ", ".join(
                 f"({u},{v}) d={d} needs {req}" for u, v, d, req in bad[:5]

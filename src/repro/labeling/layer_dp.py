@@ -29,7 +29,6 @@ from collections import deque
 from repro.errors import ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.operations import graph_power
-from repro.graphs.traversal import all_pairs_distances
 
 #: the BFS over (S, A) states explodes as 3^n
 MAX_LAYER_DP_N = 13
@@ -51,6 +50,8 @@ def l21_layer_dp_span(graph: Graph, max_n: int = MAX_LAYER_DP_N) -> int:
         return 0
 
     # bitmask adjacency: nbr1 = G-neighbours, nbr2 = within distance 2
+    # (graph_power pulls distances from the shared analysis oracle, so the
+    # APSP here is the same matrix any earlier stage already computed)
     nbr1 = [0] * n
     for u, v in graph.edges():
         nbr1[u] |= 1 << v

@@ -21,9 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ReductionNotApplicableError
+from repro.graphs.analysis import get_analysis
 from repro.graphs.graph import Graph
 from repro.graphs.operations import complement
-from repro.graphs.traversal import diameter, is_connected
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
 from repro.partition.paths_partition import (
@@ -93,9 +93,12 @@ def solve_lpq_diameter2(
     n = graph.n
     if n == 0:
         return Diameter2Result(Labeling(()), 0, 0, [], False, True)
-    if not is_connected(graph):
+    # one shared analysis: connectivity (single BFS), diameter, and the
+    # reduction below all read the same oracle — one APSP for the pipeline
+    analysis = get_analysis(graph)
+    if not analysis.is_connected:
         raise ReductionNotApplicableError("Corollary 2 needs a connected graph")
-    if n > 1 and diameter(graph) > 2:
+    if n > 1 and analysis.diameter > 2:
         raise ReductionNotApplicableError("Corollary 2 needs diameter <= 2")
 
     p, q = spec.p
@@ -119,9 +122,9 @@ def solve_lpq_diameter2(
     # re-verified, so the reported span is always achieved.
     order = [v for path in paths for v in path]
 
-    red = reduce_to_path_tsp(graph, spec)
+    red = reduce_to_path_tsp(graph, spec, analysis=analysis)
     labeling = labeling_from_order(red, order)
-    labeling.require_feasible(graph, spec)
+    labeling.require_feasible(graph, spec, dist=red.distances)
 
     formula = span_from_path_count(n, p, q, s)
     span = labeling.span

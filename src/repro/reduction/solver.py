@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.graphs.analysis import GraphAnalysis
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
@@ -44,7 +45,11 @@ class SolveResult:
 
 
 def solve_labeling(
-    graph: Graph, spec: LpSpec, engine: str = "auto", verify: bool = True
+    graph: Graph,
+    spec: LpSpec,
+    engine: str = "auto",
+    verify: bool = True,
+    analysis: GraphAnalysis | None = None,
 ) -> SolveResult:
     """Solve L(p)-labeling via the TSP framework.
 
@@ -55,7 +60,12 @@ def solve_labeling(
         (exact for small ``n``, LK-style beyond).
     verify:
         Re-check the reconstructed labeling against the original graph.
-        Costs one APSP reuse + ``O(k n^2)``; on by default.
+        Reuses the reduction's distance matrix + ``O(k n^2)``; on by default.
+    analysis:
+        Forward an existing :class:`GraphAnalysis` so validation, the
+        reduction and verification all share one distance matrix.  The
+        default pulls the graph's memoized oracle, which gives the same
+        guarantee within a process.
 
     Raises
     ------
@@ -68,7 +78,7 @@ def solve_labeling(
     4
     """
     t0 = time.perf_counter()
-    red = reduce_to_path_tsp(graph, spec)
+    red = reduce_to_path_tsp(graph, spec, analysis=analysis)
     t1 = time.perf_counter()
     resolved = engine
     if engine == "auto":
@@ -78,7 +88,7 @@ def solve_labeling(
 
     labeling = labeling_from_order(red, path.order)
     if verify:
-        labeling.require_feasible(graph, spec)
+        labeling.require_feasible(graph, spec, dist=red.distances)
         # Claim 1 consistency: span must equal the path weight
         assert labeling.span == int(round(path.length)), (
             f"span {labeling.span} != path weight {path.length}"

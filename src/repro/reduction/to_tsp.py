@@ -11,7 +11,9 @@ paper proves:
   path of ``H`` (Claim 1), and prefix sums along an optimal path give an
   optimal labeling (:mod:`repro.reduction.from_tour`).
 
-Cost: one BFS per vertex (``O(nm)``) plus an ``O(n^2)`` matrix gather.
+Cost: one APSP — served by the shared :mod:`repro.graphs.analysis` oracle,
+so it is free whenever any earlier stage already touched distances — plus
+an ``O(n^2)`` matrix gather.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graphs.analysis import GraphAnalysis
 from repro.graphs.graph import Graph
 from repro.labeling.spec import LpSpec
 from repro.reduction.validation import ApplicabilityReport, check_applicable
@@ -30,23 +33,30 @@ from repro.tsp.instance import TSPInstance
 class ReducedInstance:
     """The reduction's output: the TSP instance plus provenance.
 
-    Keeping the source graph, spec and distance matrix together lets
-    downstream code (labeling reconstruction, verification, benchmarks)
-    avoid recomputing the APSP.
+    Keeping the source graph, spec, distance matrix and the graph's
+    :class:`GraphAnalysis` together lets downstream code (labeling
+    reconstruction, verification, benchmarks) avoid recomputing the APSP.
     """
 
     graph: Graph
     spec: LpSpec
     distances: np.ndarray
     instance: TSPInstance
+    analysis: GraphAnalysis | None = None
 
     @property
     def n(self) -> int:
         return self.instance.n
 
 
-def reduce_to_path_tsp(graph: Graph, spec: LpSpec) -> ReducedInstance:
+def reduce_to_path_tsp(
+    graph: Graph, spec: LpSpec, analysis: GraphAnalysis | None = None
+) -> ReducedInstance:
     """Build ``H`` with ``w(u,v) = p_{dist(u,v)}`` after checking Theorem 2.
+
+    ``analysis`` forwards an existing oracle (the default pulls the graph's
+    memoized one), so validation, the weight gather and every later
+    consumer of the returned instance share a single distance matrix.
 
     >>> from repro.graphs.generators import cycle_graph
     >>> from repro.labeling.spec import L21
@@ -54,7 +64,7 @@ def reduce_to_path_tsp(graph: Graph, spec: LpSpec) -> ReducedInstance:
     >>> float(red.instance.weights.min()), float(red.instance.weights.max())
     (0.0, 2.0)
     """
-    report: ApplicabilityReport = check_applicable(graph, spec)
+    report: ApplicabilityReport = check_applicable(graph, spec, analysis=analysis)
     dist = report.distances
     n = graph.n
 
@@ -69,4 +79,10 @@ def reduce_to_path_tsp(graph: Graph, spec: LpSpec) -> ReducedInstance:
     if n >= 2:
         off = w[~np.eye(n, dtype=bool)]
         assert off.min() >= spec.pmin and off.max() <= 2 * spec.pmin
-    return ReducedInstance(graph=graph, spec=spec, distances=dist, instance=instance)
+    return ReducedInstance(
+        graph=graph,
+        spec=spec,
+        distances=dist,
+        instance=instance,
+        analysis=report.analysis,
+    )

@@ -3,6 +3,12 @@
 The reduction is *only* correct under these preconditions (the paper's
 Claim 1 uses both inequalities), so the solver refuses loudly instead of
 returning silently-wrong answers when they fail.
+
+All distance facts come from the shared :class:`~repro.graphs.analysis.
+GraphAnalysis` oracle: connectivity is a single-BFS pre-check (disconnected
+input is rejected without paying for APSP), and the distance matrix behind
+``diameter`` is the same one the reduction, verification and canonical-form
+layers reuse — one APSP per graph version, end to end.
 """
 
 from __future__ import annotations
@@ -12,21 +18,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ReductionNotApplicableError
+from repro.graphs.analysis import GraphAnalysis, ensure_current
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
 from repro.labeling.spec import LpSpec
 
 
 @dataclass(frozen=True)
 class ApplicabilityReport:
-    """Outcome of the precondition check, with the reusable distance matrix."""
+    """Outcome of the precondition check, carrying the reusable analysis."""
 
     connected: bool
     diameter: int | None          # None when disconnected
     k: int
     pmin: int
     pmax: int
-    distances: np.ndarray
+    analysis: GraphAnalysis
+
+    @property
+    def distances(self) -> np.ndarray:
+        """The graph's distance matrix (lazy; shared through the oracle)."""
+        return self.analysis.distances
 
     @property
     def diameter_ok(self) -> bool:
@@ -55,19 +66,27 @@ class ApplicabilityReport:
         return "applicable"
 
 
-def analyze(graph: Graph, spec: LpSpec) -> ApplicabilityReport:
-    """Compute the report (one APSP pass; matrix is reused by the reduction)."""
-    dist = all_pairs_distances(graph)
-    off_diag = dist[~np.eye(max(graph.n, 1), dtype=bool)] if graph.n else dist
-    connected = graph.n <= 1 or bool(np.all(off_diag != UNREACHABLE))
-    diam = int(dist.max()) if connected and graph.n > 1 else (0 if connected else None)
+def analyze(
+    graph: Graph, spec: LpSpec, analysis: GraphAnalysis | None = None
+) -> ApplicabilityReport:
+    """Compute the report; pass ``analysis`` to reuse an existing oracle.
+
+    A forwarded analysis must belong to ``graph``'s current version
+    (:func:`~repro.graphs.analysis.ensure_current` raises otherwise).
+    Disconnected graphs short-circuit on the single-BFS connectivity check;
+    the APSP only runs (through the oracle, hence at most once per graph
+    version) when the diameter is actually needed.
+    """
+    a = ensure_current(graph, analysis)
+    connected = a.is_connected
+    diam = a.diameter if connected else None
     return ApplicabilityReport(
         connected=connected,
         diameter=diam,
         k=spec.k,
         pmin=spec.pmin,
         pmax=spec.pmax,
-        distances=dist,
+        analysis=a,
     )
 
 
@@ -76,9 +95,11 @@ def is_applicable(graph: Graph, spec: LpSpec) -> bool:
     return analyze(graph, spec).applicable
 
 
-def check_applicable(graph: Graph, spec: LpSpec) -> ApplicabilityReport:
+def check_applicable(
+    graph: Graph, spec: LpSpec, analysis: GraphAnalysis | None = None
+) -> ApplicabilityReport:
     """Return the report, raising :class:`ReductionNotApplicableError` if bad."""
-    report = analyze(graph, spec)
+    report = analyze(graph, spec, analysis=analysis)
     if not report.applicable:
         raise ReductionNotApplicableError(
             f"Theorem 2 reduction not applicable: {report.reason()}"

@@ -24,10 +24,14 @@ from dataclasses import dataclass, field
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import parallel_map, runs_serially
 from repro.reduction.solver import solve_labeling
 from repro.service.cache import CachedSolve, ResultCache
-from repro.service.canonical import CanonicalForm, canonical_form
+from repro.service.canonical import (
+    CanonicalForm,
+    canonical_form,
+    canonical_instance,
+)
 
 #: Instances with at most this many vertices are cheap enough that pool
 #: pickling dominates; they are shipped in chunks.  Larger instances are
@@ -160,6 +164,33 @@ class BatchSolver:
         self.chunk = chunk
 
     # ------------------------------------------------------------------
+    def _solve_inline(
+        self,
+        job: tuple[str, int, tuple[tuple[int, int], ...], tuple[int, ...], str],
+        form: CanonicalForm,
+        request: SolveRequest,
+    ) -> tuple[str, tuple[int, ...], int, str, bool, float]:
+        """Serial-path worker: like :func:`_solve_job`, but zero extra APSP.
+
+        Builds the canonical graph through :func:`canonical_instance`, whose
+        pre-seeded distance oracle lets validation, reduction and verify all
+        reuse the matrix the request's canonical form already computed.
+        """
+        key, _n, _edges, p, engine = job
+        canonical = canonical_instance(form, request.graph)
+        t0 = time.perf_counter()
+        result = solve_labeling(canonical, LpSpec(p), engine=engine)
+        seconds = time.perf_counter() - t0
+        return (
+            key,
+            result.labeling.labels,
+            result.span,
+            result.engine,
+            result.exact,
+            seconds,
+        )
+
+    # ------------------------------------------------------------------
     def solve_batch(
         self, requests: list[SolveRequest]
     ) -> tuple[list[ServiceResult], BatchReport]:
@@ -186,7 +217,11 @@ class BatchSolver:
             else:
                 owners[key] = i
 
-        # Pass 2: solve each owned job once, in canonical coordinates.
+        # Pass 2: solve each owned job once, in canonical coordinates.  Jobs
+        # that would run serially anyway (one job, or a one-worker pool) are
+        # solved inline with the canonical graph's distance oracle seeded
+        # from the request's — the APSP paid for during key derivation is
+        # the only one the whole submit→solve→verify path ever runs.
         jobs = []
         for key, i in owners.items():
             form = forms[i]
@@ -196,14 +231,19 @@ class BatchSolver:
         small = [j for j in jobs if j[1] <= self.small_n]
         large = [j for j in jobs if j[1] > self.small_n]
         outcomes = []
-        if small:
-            outcomes += parallel_map(
-                _solve_job, small, workers=self.workers, chunksize=self.chunk
-            )
-        if large:
-            outcomes += parallel_map(
-                _solve_job, large, workers=self.workers, chunksize=1
-            )
+        for job_list, chunksize in ((small, self.chunk), (large, 1)):
+            if not job_list:
+                continue
+            if runs_serially(self.workers, len(job_list)):
+                for job in job_list:
+                    i = owners[job[0]]
+                    outcomes.append(
+                        self._solve_inline(job, forms[i], requests[i])
+                    )
+            else:
+                outcomes += parallel_map(
+                    _solve_job, job_list, workers=self.workers, chunksize=chunksize
+                )
 
         engine_seconds: dict[str, float] = {}
         for key, labels, span, engine, exact, seconds in outcomes:

@@ -25,8 +25,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graphs.analysis import (
+    GraphAnalysis,
+    attach_distances,
+    ensure_current,
+    get_analysis,
+)
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import all_pairs_distances
 from repro.labeling.spec import LpSpec
 
 #: Bump when the key derivation changes, so persisted caches self-invalidate.
@@ -65,8 +70,14 @@ class CanonicalForm:
         return tuple(labels[self.position[v]] for v in range(self.n))
 
 
-def canonical_form(graph: Graph, spec: LpSpec) -> CanonicalForm:
+def canonical_form(
+    graph: Graph, spec: LpSpec, analysis: GraphAnalysis | None = None
+) -> CanonicalForm:
     """Canonical certificate for a ``(graph, spec)`` request.
+
+    ``analysis`` forwards an existing oracle; by default the refinement
+    reads the graph's memoized one, so key computation and a subsequent
+    solve of the same graph share a single APSP.
 
     >>> from repro.graphs.generators import cycle_graph
     >>> from repro.graphs.operations import relabel
@@ -76,7 +87,7 @@ def canonical_form(graph: Graph, spec: LpSpec) -> CanonicalForm:
     >>> a.key == b.key
     True
     """
-    order = canonical_order(graph)
+    order = canonical_order(graph, analysis=analysis)
     position = [0] * graph.n
     for idx, v in enumerate(order):
         position[v] = idx
@@ -98,22 +109,25 @@ def canonical_form(graph: Graph, spec: LpSpec) -> CanonicalForm:
     )
 
 
-def canonical_order(graph: Graph) -> tuple[int, ...]:
+def canonical_order(
+    graph: Graph, analysis: GraphAnalysis | None = None
+) -> tuple[int, ...]:
     """A relabeling-invariant vertex order (canonical index -> vertex id).
 
-    Colour refinement over the distance matrix, then repeated
-    individualization of a canonically chosen vertex until the colouring is
-    discrete.  Ties inside a colour class are broken by the refined colour
-    histogram each candidate would induce — a relabeling-invariant score —
-    so automorphic candidates (the common case for symmetric families) all
-    yield the same final order up to automorphism.
+    Colour refinement over the distance matrix (shared through the analysis
+    oracle), then repeated individualization of a canonically chosen vertex
+    until the colouring is discrete.  Ties inside a colour class are broken
+    by the refined colour histogram each candidate would induce — a
+    relabeling-invariant score — so automorphic candidates (the common case
+    for symmetric families) all yield the same final order up to
+    automorphism.
     """
     n = graph.n
     if n == 0:
         return ()
     if n == 1:
         return (0,)
-    dist = all_pairs_distances(graph)
+    dist = ensure_current(graph, analysis).distances
 
     colors = _refine(dist, _initial_colors(graph, dist))
     while int(colors.max()) < n - 1:   # not yet discrete
@@ -124,6 +138,26 @@ def canonical_order(graph: Graph) -> tuple[int, ...]:
     for v, c in enumerate(colors.tolist()):
         order[c] = v
     return tuple(order)
+
+
+def canonical_instance(form: CanonicalForm, graph: Graph) -> Graph:
+    """Materialize the canonical graph with its distance oracle pre-seeded.
+
+    The canonical graph is the request graph relabeled by ``form.position``,
+    so its distance matrix is exactly the request's matrix permuted:
+    ``dist_c[position[u], position[v]] = dist[u, v]``.  Seeding the new
+    graph's :class:`~repro.graphs.analysis.GraphAnalysis` with that
+    permutation means a cache-miss solve in canonical coordinates computes
+    **zero** additional APSP — the key derivation already paid for the one
+    this graph version gets.
+    """
+    canonical = Graph(form.n, form.edges)
+    dist = get_analysis(graph).distances
+    position = np.asarray(form.position, dtype=np.intp)
+    permuted = np.empty_like(dist)
+    permuted[np.ix_(position, position)] = dist
+    attach_distances(canonical, permuted)
+    return canonical
 
 
 # ---------------------------------------------------------------------------

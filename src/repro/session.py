@@ -164,7 +164,9 @@ class LabelingSession:
             )
         before = self.current if self._history else None
         self._graph = trial
-        self._resolve()
+        # the applicability check above already paid for this version's
+        # APSP; forward its analysis so the re-solve computes none
+        self._resolve(analysis=report.analysis)
         if before is None:
             return AssignmentDelta(self.span, self.span, ())
         relabeled, added = _diff_labels(
@@ -172,11 +174,15 @@ class LabelingSession:
         )
         return AssignmentDelta(before.span, self.span, relabeled, added)
 
-    def _resolve(self) -> None:
+    def _resolve(self, analysis=None) -> None:
         if self.service is not None:
+            # the service canonicalizes through the graph's memoized oracle,
+            # which _commit's applicability check has already warmed
             result = self.service.submit(self._graph, self.spec, engine=self.engine)
         else:
-            result = solve_labeling(self._graph, self.spec, engine=self.engine)
+            result = solve_labeling(
+                self._graph, self.spec, engine=self.engine, analysis=analysis
+            )
         self._history.append(result)
 
 
