@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick lint experiments
+.PHONY: test bench bench-quick lint experiments perf perf-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +18,22 @@ bench-quick:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -c "import repro; print('import ok:', repro.__version__)"
+	$(PYTHON) -m pytest tests benchmarks --collect-only -qq
 
 experiments:
 	$(PYTHON) -m repro experiment
+
+# full perf trajectory: emit BENCH_<k>.json, then gate it against the
+# committed baseline (benchmarks/baseline.json).  PERF_DIR picks where the
+# trajectory lands (default: repo root, continuing the committed numbering;
+# CI points it at a scratch dir so the artifact holds only the new file).
+PERF_DIR ?= .
+
+perf:
+	$(PYTHON) -m repro perf run --dir $(PERF_DIR)
+	$(PYTHON) -m repro perf compare --dir $(PERF_DIR)
+
+# one matrix leg, small sizes — the CI perf-gate entry point
+perf-quick:
+	$(PYTHON) -m repro perf run --quick --dir $(PERF_DIR)
+	$(PYTHON) -m repro perf compare --dir $(PERF_DIR)

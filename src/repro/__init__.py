@@ -40,6 +40,18 @@ from repro.session import LabelingSession
 from repro.tsp.instance import TSPInstance
 from repro.tsp.portfolio import ENGINES, solve_path
 
+#: Perf subsystem re-exports, resolved lazily (PEP 562): the suite pulls in
+#: the whole measurement stack, which plain `import repro` users never pay.
+_PERF_EXPORTS = ("PerfRecord", "Trajectory", "run_perf_suite")
+
+
+def __getattr__(name: str):
+    if name in _PERF_EXPORTS:
+        from repro import perf
+
+        return getattr(perf, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -65,6 +77,9 @@ __all__ = [
     "ResultCache",
     "CanonicalForm",
     "canonical_form",
+    "PerfRecord",
+    "Trajectory",
+    "run_perf_suite",
     "reduce_to_path_tsp",
     "TSPInstance",
     "ENGINES",

@@ -9,6 +9,9 @@ Subcommands
 ``experiment`` run experiments from the E1–E11 reproduction suite
 ``generate``   emit a workload graph as an edge list (for piping)
 ``engines``    list available TSP engines
+``perf``       perf trajectory: ``run`` emits BENCH_<k>.json, ``compare``
+               gates it against benchmarks/baseline.json, ``baseline``
+               promotes a trajectory to the committed baseline
 """
 
 from __future__ import annotations
@@ -169,6 +172,64 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import run_perf_suite, write_trajectory
+
+    trajectory = run_perf_suite(
+        quick=args.quick, repeats=args.repeats, legs=args.leg or None
+    )
+    path = write_trajectory(trajectory, path=args.out, directory=args.dir)
+    if args.json:
+        print(json.dumps(trajectory.to_json()))
+    else:
+        for rec in trajectory.records:
+            print(
+                f"{rec.experiment}: median {rec.median_seconds * 1e3:.1f} ms "
+                f"over {len(rec.wall_seconds)} repeats  {rec.metrics}"
+            )
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _resolve_bench(args: argparse.Namespace):
+    """``--bench`` if given, else the latest BENCH_*.json under ``--dir``."""
+    from repro.perf import latest_bench_path
+
+    bench = args.bench or latest_bench_path(args.dir)
+    if bench is None:
+        print(f"no BENCH_*.json found under {args.dir!r}; run `perf run` first",
+              file=sys.stderr)
+    return bench
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf import compare, load_baseline, load_trajectory
+
+    bench = _resolve_bench(args)
+    if bench is None:
+        return 2
+    current = load_trajectory(bench)
+    baseline, tolerances = load_baseline(args.baseline)
+    report = compare(current, baseline, tolerances=tolerances)
+    if args.json:
+        print(json.dumps({"bench": str(bench), **report.to_json()}))
+    else:
+        print(f"comparing {bench} against {args.baseline}")
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_perf_baseline(args: argparse.Namespace) -> int:
+    from repro.perf import load_trajectory, write_baseline
+
+    bench = _resolve_bench(args)
+    if bench is None:
+        return 2
+    path = write_baseline(load_trajectory(bench), args.out)
+    print(f"promoted {bench} -> {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the repro-label CLI."""
     ap = argparse.ArgumentParser(
@@ -228,6 +289,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     le = sub.add_parser("engines", help="list available TSP engines")
     le.set_defaults(fn=_cmd_engines)
+
+    pf = sub.add_parser(
+        "perf",
+        help="perf trajectory: record BENCH_*.json and gate against the baseline",
+    )
+    pfsub = pf.add_subparsers(dest="perf_command", required=True)
+
+    pr = pfsub.add_parser("run", help="run the perf suite; write BENCH_<k>.json")
+    pr.add_argument("--quick", action="store_true",
+                    help="small sizes, one matrix leg (the CI perf-gate shape)")
+    pr.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per scenario (default: 3 quick / 5 full)")
+    pr.add_argument("--leg", action="append", metavar="LEG",
+                    help="matrix leg(s) to sweep (repeatable; default per mode)")
+    pr.add_argument("--dir", default=".", help="directory for BENCH_<k>.json")
+    pr.add_argument("--out", default=None, metavar="FILE",
+                    help="explicit output path (overrides --dir numbering)")
+    pr.add_argument("--json", action="store_true",
+                    help="print the full trajectory JSON to stdout")
+    pr.set_defaults(fn=_cmd_perf_run)
+
+    pc = pfsub.add_parser(
+        "compare", help="compare a trajectory against the committed baseline"
+    )
+    pc.add_argument("--bench", default=None, metavar="FILE",
+                    help="trajectory to judge (default: latest BENCH_*.json in --dir)")
+    pc.add_argument("--dir", default=".", help="where to look for BENCH_*.json")
+    pc.add_argument("--baseline", default="benchmarks/baseline.json",
+                    help="baseline file (default: benchmarks/baseline.json)")
+    pc.add_argument("--json", action="store_true", help="emit the verdicts as JSON")
+    pc.set_defaults(fn=_cmd_perf_compare)
+
+    pb = pfsub.add_parser(
+        "baseline", help="promote a trajectory to the committed baseline"
+    )
+    pb.add_argument("--bench", default=None, metavar="FILE",
+                    help="trajectory to promote (default: latest BENCH_*.json in --dir)")
+    pb.add_argument("--dir", default=".", help="where to look for BENCH_*.json")
+    pb.add_argument("--out", default="benchmarks/baseline.json",
+                    help="baseline file to write (default: benchmarks/baseline.json)")
+    pb.set_defaults(fn=_cmd_perf_baseline)
     return ap
 
 

@@ -96,3 +96,53 @@ def sweep(
 ) -> list[Workload]:
     """The cross product of sizes and seeds for one family."""
     return [make_workload(family, n, s) for n in sizes for s in seeds]
+
+
+@dataclass(frozen=True)
+class MatrixLeg:
+    """One named cell of the benchmark matrix: a family × size × seed grid.
+
+    Legs are the unit the perf suite sweeps and CI schedules — a quick run
+    takes one leg, a full run takes them all.
+    """
+
+    name: str
+    family: str
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...] = (0,)
+    #: Constraint vector solvable on this family (Theorem 2 needs
+    #: ``diam(G) <= len(spec)``, so deeper families carry longer specs).
+    spec: tuple[int, ...] = (2, 1)
+
+    def workloads(self) -> list[Workload]:
+        return sweep(self.family, list(self.sizes), list(self.seeds))
+
+
+#: The named workload matrix: density × family × size.  ``diam2`` graphs at
+#: diameter 2 are near-dense, ``diam3`` admits sparser topologies,
+#: ``geometric`` is the radio-network motivation, ``split``/``cograph``
+#: exercise the structured special-case solvers.  Sizes stay in the range
+#: the E-suite already times so a full sweep remains minutes, not hours.
+MATRIX: dict[str, MatrixLeg] = {
+    leg.name: leg
+    for leg in (
+        MatrixLeg("diam2-small", "diam2", (16, 24), (0, 1)),
+        MatrixLeg("diam2-dense", "diam2", (48, 64), (0,)),
+        MatrixLeg("diam3-sparse", "diam3", (24, 40), (0, 1), spec=(2, 2, 1)),
+        MatrixLeg("geometric-radio", "geometric", (24, 40), (0, 1), spec=(2, 2, 1)),
+        MatrixLeg("split-dense", "split", (24, 40), (0, 1), spec=(2, 2, 1)),
+        MatrixLeg("cograph-structured", "cograph", (24, 40), (0, 1)),
+    )
+}
+
+
+def matrix_sweep(leg: str | MatrixLeg) -> list[Workload]:
+    """Instantiate every workload of one named matrix leg."""
+    if isinstance(leg, str):
+        try:
+            leg = MATRIX[leg]
+        except KeyError:
+            raise ReproError(
+                f"unknown matrix leg {leg!r}; known: {', '.join(MATRIX)}"
+            ) from None
+    return leg.workloads()

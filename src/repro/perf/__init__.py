@@ -1,0 +1,51 @@
+"""Perf-trajectory subsystem: BENCH_*.json emission and regression gates.
+
+``repro.perf`` turns the repo's scattered perf asserts into one tracked
+trajectory: :mod:`~repro.perf.suite` re-measures the E-series perf claims
+over the named workload matrix, :mod:`~repro.perf.schema` serializes them
+as schema-versioned ``BENCH_<k>.json`` files with environment provenance,
+and :mod:`~repro.perf.baseline` renders a noise-aware regression verdict
+against the committed ``benchmarks/baseline.json``.  Entry points:
+``repro-label perf run|compare|baseline`` and ``make perf`` /
+``make perf-quick``.
+"""
+
+from repro.perf.baseline import (
+    DEFAULT_TOLERANCE,
+    ComparisonReport,
+    Verdict,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.environment import environment_provenance
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    PerfRecord,
+    Trajectory,
+    latest_bench_path,
+    load_trajectory,
+    next_bench_path,
+    validate_trajectory,
+    write_trajectory,
+)
+from repro.perf.suite import run_perf_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "PerfRecord",
+    "Trajectory",
+    "Verdict",
+    "ComparisonReport",
+    "compare",
+    "environment_provenance",
+    "latest_bench_path",
+    "load_baseline",
+    "load_trajectory",
+    "next_bench_path",
+    "run_perf_suite",
+    "validate_trajectory",
+    "write_baseline",
+    "write_trajectory",
+]

@@ -1,0 +1,97 @@
+"""Environment provenance for perf trajectories.
+
+Wall times are only comparable *on the machine that produced them*, so every
+trajectory carries the stamp of where it ran — interpreter and NumPy
+versions, CPU count, platform, git SHA — plus a **calibration time**: the
+wall time of a fixed, dependency-free kernel (the per-source BFS reference
+APSP on a pinned graph).  The baseline comparator divides scenario medians
+by this calibration, so a uniformly slower machine (CI runner vs laptop)
+moves both sides of the ratio and cancels out, while a genuine code
+regression moves only the scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+#: Calibration kernel input: pinned so the workload is bit-identical across
+#: machines and sessions.  n=48 keeps it ~tens of milliseconds.
+_CALIBRATION_N = 48
+_CALIBRATION_SEED = 0
+#: Vectorized-kernel iterations per calibration pass, sized so the NumPy
+#: half of the blend weighs about as much as the Python-loop half.
+_CALIBRATION_VEC_ITERS = 25
+
+
+def git_sha() -> str | None:
+    """HEAD SHA of the checkout this package runs from, or ``None``.
+
+    Resolved relative to the package source, not the process cwd — a CLI
+    invocation from some unrelated directory (itself possibly a git repo)
+    must not stamp that repo's SHA into the trajectory's provenance.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of the pinned calibration blend.
+
+    The blend sums two kernels on the same pinned graph: the
+    interpreter-bound reference APSP (per-source ``deque`` BFS, tracking
+    Python-loop speed) and the vectorized multi-source APSP repeated enough
+    to carry similar weight (tracking NumPy/BLAS throughput).  Gated
+    scenarios sit somewhere between those regimes, so normalizing by the
+    blend keeps cross-machine ratios stable even when a machine's
+    interpreter-vs-BLAS balance differs from the baseline machine's.
+    """
+    from repro.graphs import generators as gen
+    from repro.graphs.traversal import (
+        all_pairs_distances,
+        all_pairs_distances_reference,
+    )
+
+    g = gen.random_graph_with_diameter_at_most(
+        _CALIBRATION_N, 2, seed=_CALIBRATION_SEED
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        all_pairs_distances_reference(g)
+        for _ in range(_CALIBRATION_VEC_ITERS):
+            all_pairs_distances(g)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def environment_provenance(calibrate: bool = True) -> dict:
+    """The provenance stamp written into every trajectory."""
+    env: dict = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha(),
+        "argv": list(sys.argv),
+    }
+    if calibrate:
+        env["calibration_seconds"] = round(calibration_seconds(), 6)
+    return env

@@ -1,0 +1,197 @@
+"""Schema-versioned perf-trajectory records (``BENCH_<k>.json``).
+
+A *trajectory* is one run of the perf suite: an environment stamp
+(python/numpy versions, CPU count, git SHA, a calibration time — see
+:mod:`repro.perf.environment`) plus one :class:`PerfRecord` per scenario.
+Each record carries every repeat's wall time and a flat dict of numeric
+scenario metrics (spans, ratios, oracle counters such as
+``apsp_run_count``, cache-hit stats).  Files are plain JSON so any later
+session — or a CI artifact reader — can regenerate and diff them; the
+``schema_version`` field lets future formats evolve without guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Bump when the BENCH_*.json layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Trajectory kinds: ``full``/``quick`` come from the perf suite,
+#: ``bench`` from the pytest ``--perf-record`` hook in benchmarks/conftest.py.
+KINDS = ("full", "quick", "bench")
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One scenario's measurement: all repeats plus scenario metrics."""
+
+    experiment: str
+    wall_seconds: tuple[float, ...]
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median_seconds(self) -> float:
+        """Median over repeats — the noise-resistant central value the
+        baseline comparator gates on."""
+        return float(statistics.median(self.wall_seconds))
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "wall_seconds": [round(s, 6) for s in self.wall_seconds],
+            "median_seconds": round(self.median_seconds, 6),
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PerfRecord":
+        return cls(
+            experiment=str(data["experiment"]),
+            wall_seconds=tuple(float(s) for s in data["wall_seconds"]),
+            # keep ints as ints: counters like apsp_run_count must not churn
+            # to 1.0 on every load -> promote round trip of the baseline
+            metrics={
+                str(k): v if isinstance(v, int) else float(v)
+                for k, v in data.get("metrics", {}).items()
+            },
+        )
+
+
+@dataclass
+class Trajectory:
+    """One perf-suite run: environment provenance plus scenario records."""
+
+    environment: dict
+    records: list[PerfRecord]
+    kind: str = "full"
+    schema_version: int = SCHEMA_VERSION
+
+    def record_map(self) -> dict[str, PerfRecord]:
+        return {r.experiment: r for r in self.records}
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "environment": self.environment,
+            "records": [r.to_json() for r in self.records],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Trajectory":
+        problems = validate_trajectory(data)
+        if problems:
+            raise ReproError(
+                "invalid trajectory: " + "; ".join(problems)
+            )
+        return cls(
+            environment=dict(data["environment"]),
+            records=[PerfRecord.from_json(r) for r in data["records"]],
+            kind=str(data["kind"]),
+            schema_version=int(data["schema_version"]),
+        )
+
+
+def validate_trajectory(data: object) -> list[str]:
+    """All schema problems in ``data`` (empty list == valid).
+
+    Unknown extra keys are allowed (the baseline file rides a
+    ``tolerances`` map on the same payload); missing/ill-typed required
+    fields are not.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {version!r}"
+        )
+    if data.get("kind") not in KINDS:
+        problems.append(f"kind must be one of {KINDS}, got {data.get('kind')!r}")
+    if not isinstance(data.get("environment"), dict):
+        problems.append("environment must be an object")
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("records must be a non-empty list")
+        return problems
+    for i, rec in enumerate(records):
+        where = f"records[{i}]"
+        if not isinstance(rec, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(rec.get("experiment"), str) or not rec.get("experiment"):
+            problems.append(f"{where}.experiment must be a non-empty string")
+        walls = rec.get("wall_seconds")
+        if (
+            not isinstance(walls, list)
+            or not walls
+            or not all(isinstance(w, (int, float)) and w >= 0 for w in walls)
+        ):
+            problems.append(
+                f"{where}.wall_seconds must be a non-empty list of non-negative numbers"
+            )
+        metrics = rec.get("metrics", {})
+        if not isinstance(metrics, dict) or not all(
+            isinstance(k, str) and isinstance(v, (int, float))
+            for k, v in metrics.items()
+        ):
+            problems.append(f"{where}.metrics must map strings to numbers")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# BENCH_<k>.json file management
+# ---------------------------------------------------------------------------
+def bench_paths(directory: str | Path = ".") -> list[Path]:
+    """All ``BENCH_<k>.json`` files under ``directory``, ordered by ``k``."""
+    root = Path(directory)
+    found = [
+        (int(m.group(1)), p)
+        for p in root.glob("BENCH_*.json")
+        if (m := _BENCH_RE.match(p.name))
+    ]
+    return [p for _, p in sorted(found)]
+
+
+def next_bench_path(directory: str | Path = ".") -> Path:
+    """The first unused ``BENCH_<k>.json`` slot under ``directory``."""
+    existing = bench_paths(directory)
+    k = int(_BENCH_RE.match(existing[-1].name).group(1)) + 1 if existing else 0
+    return Path(directory) / f"BENCH_{k}.json"
+
+
+def latest_bench_path(directory: str | Path = ".") -> Path | None:
+    """The highest-numbered ``BENCH_<k>.json``, or ``None`` if none exist."""
+    existing = bench_paths(directory)
+    return existing[-1] if existing else None
+
+
+def write_trajectory(
+    trajectory: Trajectory,
+    path: str | Path | None = None,
+    directory: str | Path = ".",
+) -> Path:
+    """Serialize ``trajectory`` to ``path`` (default: the next BENCH slot)."""
+    out = Path(path) if path is not None else next_bench_path(directory)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trajectory.to_json(), indent=2) + "\n")
+    return out
+
+
+def load_trajectory(path: str | Path) -> Trajectory:
+    """Parse and schema-validate one trajectory file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read trajectory {path}: {exc}") from exc
+    return Trajectory.from_json(data)

@@ -67,11 +67,13 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_json(self) -> dict:
+        """JSON counters — the shape the perf trajectory records verbatim."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "lookups": self.lookups,
             "hit_rate": round(self.hit_rate, 4),
         }
 

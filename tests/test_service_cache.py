@@ -138,7 +138,8 @@ class TestStats:
         s = CacheStats(hits=3, misses=1, evictions=2, puts=4)
         data = s.to_json()
         assert data == {
-            "hits": 3, "misses": 1, "evictions": 2, "puts": 4, "hit_rate": 0.75,
+            "hits": 3, "misses": 1, "evictions": 2, "puts": 4,
+            "lookups": 4, "hit_rate": 0.75,
         }
 
     def test_zero_lookups(self):
