@@ -30,6 +30,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.traversal import diameter, all_pairs_distances
 from repro.labeling.spec import LpSpec, L21, L11, all_ones
 from repro.labeling.labeling import Labeling
+from repro.dynamic import DeltaEngine, full_apsp_refresh_count
 from repro.reduction.solver import LpTspSolver, SolveResult, solve_labeling
 from repro.reduction.to_tsp import reduce_to_path_tsp
 from repro.service.api import LabelingService, solve_record
@@ -77,6 +78,8 @@ __all__ = [
     "ResultCache",
     "CanonicalForm",
     "canonical_form",
+    "DeltaEngine",
+    "full_apsp_refresh_count",
     "PerfRecord",
     "Trajectory",
     "run_perf_suite",

@@ -9,9 +9,16 @@ Subcommands
 ``experiment`` run experiments from the E1–E11 reproduction suite
 ``generate``   emit a workload graph as an edge list (for piping)
 ``engines``    list available TSP engines
+``dynamic``    run a named edge-churn stream through the incremental
+               delta engine; verify against the reference APSP and report
+               the speedup over recompute-per-mutation
 ``perf``       perf trajectory: ``run`` emits BENCH_<k>.json, ``compare``
                gates it against benchmarks/baseline.json, ``baseline``
                promotes a trajectory to the committed baseline
+
+Expected failures (missing files, unknown legs, invalid trajectories)
+surface as one-line ``error: ...`` messages with exit code 2, not
+tracebacks.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.graphs import io as gio
 from repro.graphs.analysis import get_analysis
 from repro.harness.experiments import ALL_EXPERIMENTS, main as run_experiments
@@ -172,6 +180,82 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    import dataclasses
+    import time
+
+    import numpy as np
+
+    from repro.dynamic import full_apsp_refresh_count
+    from repro.graphs.traversal import all_pairs_distances_reference
+    from repro.harness.workloads import (
+        DYNAMIC,
+        churn_maintain,
+        churn_recompute,
+        churn_stream,
+    )
+
+    try:
+        leg = DYNAMIC[args.leg]
+    except KeyError:
+        raise ReproError(
+            f"unknown dynamic leg {args.leg!r}; known: {', '.join(DYNAMIC)}"
+        ) from None
+    if args.steps is not None:
+        leg = dataclasses.replace(leg, steps=args.steps)
+    base, ops = churn_stream(leg)
+
+    fallbacks_before = full_apsp_refresh_count()
+    t0 = time.perf_counter()
+    churn_maintain(base, ops)
+    incremental = time.perf_counter() - t0
+    fallbacks = full_apsp_refresh_count() - fallbacks_before
+
+    t0 = time.perf_counter()
+    churn_recompute(base, ops)
+    recompute = time.perf_counter() - t0
+
+    verified = True
+    if args.verify:
+        # separate un-timed pass: per-delta comparison against the
+        # reference APSP must not pollute the reported walls
+        mismatches = []
+        churn_maintain(
+            base, ops,
+            each=lambda g, dist: mismatches.append(g.version)
+            if not np.array_equal(dist, all_pairs_distances_reference(g))
+            else None,
+        )
+        verified = not mismatches
+
+    record = {
+        "leg": leg.name,
+        "n": base.n,
+        "m": base.m,
+        "steps": len(ops),
+        "incremental_seconds": round(incremental, 6),
+        "recompute_seconds": round(recompute, 6),
+        "speedup": round(recompute / incremental, 2) if incremental > 0 else 0.0,
+        "full_apsp_refreshes": fallbacks,
+        "verified": verified if args.verify else None,
+    }
+    if args.json:
+        print(json.dumps(record))
+    else:
+        print(f"leg: {record['leg']}  (n={record['n']}, m={record['m']}, "
+              f"{record['steps']} mutations)")
+        print(f"incremental maintenance: {incremental * 1e3:.1f} ms "
+              f"({fallbacks} full-APSP fallbacks)")
+        print(f"recompute-per-mutation:  {recompute * 1e3:.1f} ms")
+        print(f"speedup: {record['speedup']}x")
+        if args.verify:
+            print(f"verified against reference APSP after every delta: "
+                  f"{verified}")
+    if args.verify and not verified:
+        return 1  # pragma: no cover - would be an engine bug
+    return 0
+
+
 def _cmd_perf_run(args: argparse.Namespace) -> int:
     from repro.perf import run_perf_suite, write_trajectory
 
@@ -290,6 +374,24 @@ def build_parser() -> argparse.ArgumentParser:
     le = sub.add_parser("engines", help="list available TSP engines")
     le.set_defaults(fn=_cmd_engines)
 
+    dy = sub.add_parser(
+        "dynamic",
+        help="run an edge-churn stream through the incremental delta engine",
+    )
+    dy.add_argument(
+        "--leg", default="churn-diam2-small", metavar="LEG",
+        help="named DYNAMIC leg (default: churn-diam2-small)",
+    )
+    dy.add_argument("--steps", type=int, default=None,
+                    help="override the leg's stream length")
+    dy.add_argument(
+        "--verify", action="store_true",
+        help="assert the repaired matrix against the reference APSP "
+             "after every delta",
+    )
+    dy.add_argument("--json", action="store_true", help="emit one JSON record")
+    dy.set_defaults(fn=_cmd_dynamic)
+
     pf = sub.add_parser(
         "perf",
         help="perf trajectory: record BENCH_*.json and gate against the baseline",
@@ -334,9 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Expected operational failures (:class:`ReproError`: missing trajectory
+    or baseline files, unknown legs, schema violations) are reported as a
+    one-line message on stderr with exit code 2 — a `perf compare` pointed
+    at a directory with no ``BENCH_*.json`` must fail clearly, not with a
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,472 @@
+"""Delta-aware APSP repair: the kernels and the stateful engine.
+
+Correctness rests on two classical facts about unweighted shortest paths:
+
+1. *Insertion* of edge ``{u, v}`` can only shorten distances, and any
+   strictly shorter path must cross the new edge, so
+   ``d'(i, j) = min(d(i, j), d(i, u) + 1 + d(v, j), d(i, v) + 1 + d(u, j))``
+   — one vectorized ``O(n^2)`` relaxation repairs the whole matrix.
+2. *Deletion* of edge ``{u, v}`` can only lengthen distances, and a row
+   ``i`` can change only if some shortest path from ``i`` used the edge,
+   which forces ``|d(i, u) - d(i, v)| == 1`` (take ``j = v`` resp. ``u``
+   in ``d(i, j) = d(i, u) + 1 + d(v, j)`` and apply the triangle
+   inequality).  Rows outside that superset keep their old values; rows
+   inside it are recomputed exactly by multi-source BFS on the mutated
+   adjacency.
+
+Both kernels are assert-equal to
+:func:`repro.graphs.traversal.all_pairs_distances_reference` after every
+delta in the property tests and ``benchmarks/bench_e13_dynamic_updates.py``.
+
+The deletion repair degenerates when most rows are touched (small-diameter
+graphs make ``|d(i,u) - d(i,v)| == 1`` common), so above
+:data:`DELETE_FALLBACK_FRACTION` the engine abandons the repair and runs a
+full APSP.  Every such abandonment — threshold, trimmed mutation window,
+or replay desync — increments the process-wide counter behind
+:func:`full_apsp_refresh_count`, the metric the perf baseline gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.analysis import (
+    GraphAnalysis,
+    attach_distances,
+    ensure_current,
+    get_analysis,
+)
+from repro.graphs.graph import Graph, Mutation
+from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
+
+#: Fraction of rows above which an edge-delete repair falls back to a full
+#: APSP.  Touched rows cost one multi-source BFS level-sweep each, so a
+#: repair touching nearly every row does the work of a full recompute plus
+#: bookkeeping; below the threshold the partial sweep (which also skips
+#: the adjacency-matrix rebuild the full kernel pays) wins.
+DELETE_FALLBACK_FRACTION = 0.75
+
+#: Process-wide count of incremental repairs abandoned for a full APSP.
+_FULL_REFRESHES = 0
+
+
+def full_apsp_refresh_count() -> int:
+    """How many times delta repair fell back to a full APSP in this process.
+
+    The ``DYNAMIC`` perf leg records this per churn stream and the
+    committed baseline gates it: the count may never rise.
+    """
+    return _FULL_REFRESHES
+
+
+def _count_full_refresh() -> None:
+    global _FULL_REFRESHES
+    _FULL_REFRESHES += 1
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+def relax_insert(dist: np.ndarray, u: int, v: int) -> None:
+    """Repair ``dist`` in place for the insertion of edge ``{u, v}``.
+
+    Vectorized affected-pairs relaxation: with ``W`` the matrix under a
+    finite infinity, the candidate through the new edge is
+    ``W[:, u, None] + 1 + W[None, v, :]`` and its transpose covers the
+    opposite orientation.  Exact for unweighted graphs, including inserts
+    that merge two components.
+    """
+    n = dist.shape[0]
+    inf = np.int64(n)  # any finite distance is <= n - 1
+    w = np.where(dist == UNREACHABLE, inf, dist)
+    du = w[:, u]
+    dv = w[:, v]
+    cand = du[:, None] + (dv[None, :] + 1)
+    np.minimum(cand, cand.T, out=cand)  # d(i,v) + 1 + d(u,j) == cand.T[i,j]
+    np.minimum(w, cand, out=w)
+    dist[...] = np.where(w >= inf, UNREACHABLE, w)
+
+
+def affected_sources(dist: np.ndarray, u: int, v: int) -> np.ndarray:
+    """Rows whose distances may change when edge ``{u, v}`` is deleted.
+
+    Evaluated on the **pre-delete** matrix.  A shortest path from ``i``
+    can use the edge only if ``|d(i, u) - d(i, v)| == 1`` (both finite);
+    every other row is provably unchanged.
+    """
+    du = dist[:, u]
+    dv = dist[:, v]
+    reach = (du != UNREACHABLE) & (dv != UNREACHABLE)
+    return np.nonzero(reach & (np.abs(du - dv) == 1))[0]
+
+
+def distance_rows(adj: np.ndarray, sources: np.ndarray) -> np.ndarray:
+    """Exact BFS distance rows for ``sources`` over boolean adjacency ``adj``.
+
+    The multi-source frontier expansion of
+    :func:`~repro.graphs.traversal.all_pairs_distances`, restricted to a
+    row subset: one ``(k, n) @ (n, n)`` boolean product per BFS level.
+    """
+    n = adj.shape[0]
+    k = len(sources)
+    dist = np.full((k, n), UNREACHABLE, dtype=np.int64)
+    if k == 0:
+        return dist
+    rows = np.arange(k)
+    dist[rows, sources] = 0
+    reached = np.zeros((k, n), dtype=bool)
+    reached[rows, sources] = True
+    frontier = reached.copy()
+    level = 0
+    while True:
+        frontier = (frontier @ adj) & ~reached
+        if not frontier.any():
+            break
+        level += 1
+        dist[frontier] = level
+        reached |= frontier
+    return dist
+
+
+def _pad_vertex(dist: np.ndarray) -> np.ndarray:
+    """Grow the matrix for one appended isolated vertex."""
+    n = dist.shape[0]
+    out = np.full((n + 1, n + 1), UNREACHABLE, dtype=np.int64)
+    out[:n, :n] = dist
+    out[n, n] = 0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the stateful engine
+# ---------------------------------------------------------------------------
+class DeltaEngine:
+    """Maintains ``(distances, adjacency)`` across a mutation stream.
+
+    Built from a graph whose oracle is (or becomes) warm, then advanced by
+    :meth:`refresh` to any same-lineage graph — the same instance mutated
+    in place, or a ``copy()``-descendant whose version continuity the
+    copied mutation log witnesses.  Keeping the boolean adjacency inside
+    the engine makes edge updates ``O(1)`` and spares delete repairs the
+    per-call adjacency rebuild that dominates the full kernel at small
+    ``n``.
+
+    >>> from repro.graphs.generators import cycle_graph
+    >>> g = cycle_graph(5)
+    >>> engine = DeltaEngine(g)
+    >>> g.add_edge(0, 2)
+    >>> int(engine.refresh(g)[0, 2])
+    1
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        analysis: GraphAnalysis | None = None,
+        delete_fallback_fraction: float = DELETE_FALLBACK_FRACTION,
+    ) -> None:
+        a = ensure_current(graph, analysis)
+        self.dist = np.array(a.distances, dtype=np.int64, copy=True)
+        self.adj = graph.adjacency_matrix(dtype=np.bool_)
+        self.m = graph.m
+        self.version = graph.version
+        self._lineage_mark = _record_suffix_at(graph, graph.version)
+        self.delete_fallback_fraction = float(delete_fallback_fraction)
+
+    @classmethod
+    def _from_state(
+        cls, dist: np.ndarray, adj: np.ndarray, version: int,
+        lineage_mark: tuple[Mutation, ...],
+    ) -> "DeltaEngine":
+        """Internal: an engine over explicit state (stateless refresh path)."""
+        engine = cls.__new__(cls)
+        engine.dist = dist
+        engine.adj = adj
+        engine.m = int(adj.sum()) // 2
+        engine.version = version
+        engine._lineage_mark = lineage_mark
+        engine.delete_fallback_fraction = DELETE_FALLBACK_FRACTION
+        return engine
+
+    @property
+    def n(self) -> int:
+        return self.dist.shape[0]
+
+    # ------------------------------------------------------------------
+    def refresh(self, graph: Graph) -> np.ndarray:
+        """Advance to ``graph``'s current version; return the live matrix.
+
+        Replays ``graph.mutations_since(self.version)`` through the delta
+        kernels; any gap the log no longer covers, replay inconsistency,
+        or over-threshold delete resyncs from a full APSP (counted by
+        :func:`full_apsp_refresh_count`).  The returned array is **engine
+        owned** and mutated by later refreshes — use :meth:`attach` (which
+        copies) to install it as a graph's memoized oracle.
+        """
+        lineage_ok = (
+            graph.n >= self.n and self._lineage_witnessed(graph)
+        )
+        if graph.version == self.version and graph.n == self.n and lineage_ok:
+            return self.dist
+        muts = graph.mutations_since(self.version)
+        if muts is None or not lineage_ok or not self._replay(graph, muts):
+            self._full_resync(graph)
+        return self.dist
+
+    def _lineage_witnessed(self, graph: Graph) -> bool:
+        """Does ``graph``'s log agree with the engine's lineage mark?
+
+        Version equality alone cannot distinguish two *divergent sibling
+        copies* (the same ancestor mutated two different ways reaches the
+        same version, ``n`` and ``m``), but their logs differ at the
+        engine's version: a genuine descendant carries the exact records
+        the engine last saw.  Comparing the newest
+        :data:`_LINEAGE_SUFFIX` records at/below the engine's version is a
+        **best-effort witness**, not proof — the refresh contract still
+        requires same-lineage graphs; an unrelated graph whose retained
+        log coincides on that whole suffix is not detected.
+        """
+        return _marks_agree(
+            _record_suffix_at(graph, self.version), self._lineage_mark
+        )
+
+    def attach(self, graph: Graph) -> GraphAnalysis:
+        """Install a copy of the maintained matrix as ``graph``'s oracle."""
+        if graph.version != self.version or graph.n != self.n:
+            raise ValueError(
+                "DeltaEngine is not synced to this graph; call refresh first"
+            )
+        return attach_distances(graph, np.array(self.dist, copy=True))
+
+    # ------------------------------------------------------------------
+    def _replay(self, graph: Graph, muts: tuple[Mutation, ...]) -> bool:
+        """Apply the mutation run; False means "resync from scratch".
+
+        Per-op consistency against the engine's own adjacency (inserting
+        an edge it already has, removing one it lacks, a non-appending
+        vertex add) plus the final ``n``/``m`` cross-check catch most
+        desyncs; the caller's :meth:`_lineage_witnessed` check covers the
+        divergent-sibling case these cannot see.  None of this *proves*
+        lineage — see the witness docstring.
+        """
+        for m in muts:
+            if m.op == "add_edge":
+                if not self._valid_pair(m.u, m.v) or self.adj[m.u, m.v]:
+                    return False
+                self.adj[m.u, m.v] = self.adj[m.v, m.u] = True
+                self.m += 1
+                relax_insert(self.dist, m.u, m.v)
+            elif m.op == "remove_edge":
+                if not self._valid_pair(m.u, m.v) or not self.adj[m.u, m.v]:
+                    return False
+                touched = affected_sources(self.dist, m.u, m.v)
+                self.adj[m.u, m.v] = self.adj[m.v, m.u] = False
+                self.m -= 1
+                if len(touched) > self.delete_fallback_fraction * self.n:
+                    return False  # repair would cost ~a full APSP anyway
+                rows = distance_rows(self.adj, touched)
+                self.dist[touched, :] = rows
+                self.dist[:, touched] = rows.T
+            elif m.op == "add_vertex":
+                if m.u != self.n:
+                    return False
+                self.dist = _pad_vertex(self.dist)
+                self.adj = np.pad(self.adj, ((0, 1), (0, 1)))
+            else:
+                return False
+            self.version = m.version
+            self._lineage_mark = (*self._lineage_mark[1 - _LINEAGE_SUFFIX:], m)
+        return (
+            self.version == graph.version
+            and self.n == graph.n
+            and self.m == graph.m
+        )
+
+    def _valid_pair(self, u: int, v: int) -> bool:
+        return 0 <= u < self.n and 0 <= v < self.n and u != v
+
+    def _full_resync(self, graph: Graph) -> None:
+        """Abandon incremental repair: rebuild state from the graph (counted)."""
+        _count_full_refresh()
+        cached = graph._analysis
+        if (
+            cached is not None
+            and cached.version == graph.version
+            and cached._distances is not None
+        ):
+            self.dist = np.array(cached._distances, dtype=np.int64, copy=True)
+        else:
+            self.dist = all_pairs_distances(graph)
+        self.adj = graph.adjacency_matrix(dtype=np.bool_)
+        self.m = graph.m
+        self.version = graph.version
+        self._lineage_mark = _record_suffix_at(graph, graph.version)
+
+
+#: How many trailing mutation records the lineage witness compares.  One
+#: record already separates divergent sibling copies (their last mutations
+#: differ by construction); a longer suffix makes a *coincidental* match
+#: with an unrelated graph's log practically impossible while staying O(1)
+#: per refresh.
+_LINEAGE_SUFFIX = 4
+
+
+def _record_suffix_at(graph: Graph, version: int) -> tuple[Mutation, ...]:
+    """The newest (up to ``_LINEAGE_SUFFIX``) records with version <= ``version``.
+
+    Empty when no such record is retained — either the graph was never
+    mutated (version 0) or the window has been trimmed past ``version``.
+    """
+    out: list[Mutation] = []
+    for m in reversed(graph._mutation_log):
+        if m.version <= version:
+            out.append(m)
+            if len(out) == _LINEAGE_SUFFIX:
+                break
+    return tuple(reversed(out))
+
+
+def _marks_agree(a: tuple[Mutation, ...], b: tuple[Mutation, ...]) -> bool:
+    """Do two lineage marks agree on their overlapping suffix?
+
+    The sides may retain different depths (a capped log trims oldest
+    records first), so only the common tail is compared.  One empty side
+    against a non-empty one cannot witness anything and is rejected; both
+    empty (never-mutated graphs, necessarily edgeless) is accepted.
+    """
+    if not a or not b:
+        return a == b
+    k = min(len(a), len(b))
+    return a[-k:] == b[-k:]
+
+
+# ---------------------------------------------------------------------------
+# stateless entry points (behind GraphAnalysis.refresh / .apply_delta)
+# ---------------------------------------------------------------------------
+def refresh_analysis(
+    graph: Graph, prior: GraphAnalysis | None = None
+) -> GraphAnalysis:
+    """A current, distance-warm oracle for ``graph`` by delta repair.
+
+    ``prior`` is the analysis to repair from (default: the graph's own
+    memoized one).  A prior without a computed matrix is a cold start —
+    there is nothing to repair, so the ordinary oracle is returned and
+    **not** counted as a fallback.  A prior bound to a different instance
+    is accepted when version continuity holds (the session's
+    copy-then-mutate trials); shape or replay inconsistencies fall back to
+    a counted full recompute.
+
+    The repaired matrix is installed as ``graph``'s memoized oracle, so
+    every downstream layer (applicability, reduction, canonical keys,
+    verification) reuses it for free.
+    """
+    if prior is None:
+        prior = graph._analysis
+    if prior is not None and prior.graph is graph and prior.is_current():
+        return prior
+    if prior is None or prior._distances is None:
+        return get_analysis(graph)
+    if prior.graph is not graph and not _marks_agree(
+        _record_suffix_at(prior.graph, prior.version),
+        _record_suffix_at(graph, prior.version),
+    ):
+        # a cross-instance prior must witness shared lineage: a genuine
+        # copy retains the identical records at/below the prior's version,
+        # so the suffixes agree; a divergent sibling's differ.  Like the
+        # engine's witness this is best-effort — the contract still
+        # requires a same-lineage target.
+        return _counted_full(graph)
+    muts = graph.mutations_since(prior.version)
+    if muts is None or prior._distances.shape[0] + _grown(muts) != graph.n:
+        return _counted_full(graph)
+    if not muts:
+        # same version, witnessed lineage: transplant the matrix verbatim
+        return attach_distances(graph, np.array(prior._distances, copy=True))
+
+    if any(m.op == "remove_edge" for m in muts):
+        adj = _rewind_adjacency(graph, muts)
+        if adj is None or adj.shape[0] != prior._distances.shape[0]:
+            return _counted_full(graph)
+        engine = DeltaEngine._from_state(
+            np.array(prior._distances, dtype=np.int64, copy=True),
+            adj,
+            prior.version,
+            _record_suffix_at(graph, prior.version),
+        )
+        if not engine._replay(graph, muts):
+            return _counted_full(graph)
+        return attach_distances(graph, engine.dist)
+
+    # insert/grow-only gap: no adjacency state needed at all
+    dist = np.array(prior._distances, dtype=np.int64, copy=True)
+    for m in muts:
+        if m.op == "add_vertex":
+            if m.u != dist.shape[0]:
+                return _counted_full(graph)
+            dist = _pad_vertex(dist)
+        else:
+            n = dist.shape[0]
+            if not (0 <= m.u < n and 0 <= m.v < n and m.u != m.v):
+                return _counted_full(graph)
+            relax_insert(dist, m.u, m.v)
+    return attach_distances(graph, dist)
+
+
+def apply_delta(prior: GraphAnalysis, mutation: Mutation) -> GraphAnalysis:
+    """Advance ``prior`` by exactly one mutation of its own graph.
+
+    The single-step flavour of :func:`refresh_analysis`: ``mutation`` must
+    be the one change separating ``prior`` from its graph's current
+    version (the record ``graph.add_edge``/... just appended to the
+    mutation log).
+    """
+    graph = prior.graph
+    muts = graph.mutations_since(prior.version)
+    if muts != (mutation,):
+        raise ValueError(
+            "apply_delta: mutation is not the single change separating this "
+            "analysis from its graph's current version"
+        )
+    return refresh_analysis(graph, prior)
+
+
+def _grown(muts: tuple[Mutation, ...]) -> int:
+    return sum(1 for m in muts if m.op == "add_vertex")
+
+
+def _counted_full(graph: Graph) -> GraphAnalysis:
+    """Counted fallback: a from-scratch, distance-warm oracle."""
+    _count_full_refresh()
+    analysis = get_analysis(graph)
+    analysis.distances  # force the matrix: callers expect a warm oracle
+    return analysis
+
+
+def _rewind_adjacency(
+    graph: Graph, muts: tuple[Mutation, ...]
+) -> np.ndarray | None:
+    """Adjacency as of the version *before* ``muts``, by reverse-applying.
+
+    Walking the records backwards from the graph's current adjacency
+    reconstructs the snapshot the prior matrix describes; any
+    inconsistency (re-adding a present edge, a grown vertex that still has
+    edges at its own add point) returns ``None``.
+    """
+    adj = graph.adjacency_matrix(dtype=np.bool_)
+    for m in reversed(muts):
+        n = adj.shape[0]
+        if m.op == "add_edge":
+            if not (0 <= m.u < n and 0 <= m.v < n) or not adj[m.u, m.v]:
+                return None
+            adj[m.u, m.v] = adj[m.v, m.u] = False
+        elif m.op == "remove_edge":
+            if not (0 <= m.u < n and 0 <= m.v < n) or adj[m.u, m.v]:
+                return None
+            adj[m.u, m.v] = adj[m.v, m.u] = True
+        elif m.op == "add_vertex":
+            if m.u != n - 1 or adj[m.u].any():
+                return None
+            adj = adj[:-1, :-1].copy()
+        else:
+            return None
+    return adj

@@ -93,6 +93,34 @@ class GraphAnalysis:
         """True while the underlying graph has not been mutated since."""
         return self.version == self.graph.version
 
+    def refresh(self) -> "GraphAnalysis":
+        """A current analysis for this graph, by incremental delta repair.
+
+        Returns ``self`` while current.  After mutations, delegates to the
+        dynamic layer (:func:`repro.dynamic.refresh_analysis`, imported
+        lazily — the one deliberate upward edge in the layer map), which
+        repairs this analysis's distance matrix through the graph's
+        mutation log instead of recomputing it, falling back to a full
+        APSP only when the gap is unrepairable.  The result is installed
+        as the graph's memoized oracle.
+        """
+        if self.is_current():
+            return self
+        from repro.dynamic import refresh_analysis
+
+        return refresh_analysis(self.graph, prior=self)
+
+    def apply_delta(self, mutation) -> "GraphAnalysis":
+        """Advance this analysis past exactly one logged mutation.
+
+        ``mutation`` must be the single :class:`~repro.graphs.graph.
+        Mutation` separating this snapshot from the graph's current
+        version; see :func:`repro.dynamic.apply_delta`.
+        """
+        from repro.dynamic import apply_delta
+
+        return apply_delta(self, mutation)
+
     def _require_current(self) -> None:
         """Lazy computations must not read a graph that moved on.
 

@@ -8,11 +8,37 @@ indexed by vertex id (the hot paths in this library are all array-shaped).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import itertools
+from collections import deque
+from typing import Iterable, Iterator, NamedTuple
 
 import numpy as np
 
 from repro.errors import GraphError
+
+#: How many :class:`Mutation` records a graph retains.  The dynamic layer
+#: (:mod:`repro.dynamic`) only ever replays short gaps — one mutate-and-
+#: resolve step, or a handful of edits on a session trial copy — so a
+#: bounded window keeps edge-by-edge construction of large graphs O(1)
+#: extra memory.  When a requested gap falls off the window,
+#: :meth:`Graph.mutations_since` returns ``None`` and callers fall back to
+#: a full recompute.
+MUTATION_LOG_CAPACITY = 512
+
+
+class Mutation(NamedTuple):
+    """One structural change, recorded in :attr:`Graph.mutation_log`.
+
+    ``version`` is the graph version *after* the change (versions bump by
+    exactly one per mutation, so consecutive records have consecutive
+    versions).  For ``add_vertex`` records, ``u`` is the new vertex id and
+    ``v`` is ``-1``.
+    """
+
+    version: int
+    op: str          # "add_edge" | "remove_edge" | "add_vertex"
+    u: int
+    v: int
 
 
 class Graph:
@@ -36,7 +62,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_adj", "_m", "_version", "_analysis")
+    __slots__ = ("_n", "_adj", "_m", "_version", "_analysis", "_mutation_log")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if n < 0:
@@ -46,6 +72,7 @@ class Graph:
         self._m = 0
         self._version = 0
         self._analysis = None     # memoized GraphAnalysis (see graphs.analysis)
+        self._mutation_log: deque[Mutation] = deque(maxlen=MUTATION_LOG_CAPACITY)
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -77,10 +104,19 @@ class Graph:
         return cls(a.shape[0], zip(us.tolist(), vs.tolist()))
 
     def copy(self) -> "Graph":
-        """A deep, independent copy of the graph."""
+        """A deep, independent copy of the graph.
+
+        The copy carries over :attr:`version` and the mutation log (it is
+        the same structural snapshot), but starts with a **cold** analysis
+        oracle — memoization is per instance.  Version continuity is what
+        lets the dynamic layer repair an ancestor's distance matrix across
+        a copy-then-mutate step (see :mod:`repro.dynamic`).
+        """
         g = Graph(self._n)
         g._adj = [set(s) for s in self._adj]
         g._m = self._m
+        g._version = self._version
+        g._mutation_log = self._mutation_log.copy()
         return g
 
     # ------------------------------------------------------------------
@@ -97,6 +133,9 @@ class Graph:
             self._adj[v].add(u)
             self._m += 1
             self._version += 1
+            self._mutation_log.append(
+                Mutation(self._version, "add_edge", min(u, v), max(u, v))
+            )
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``{u, v}``; raises if it is absent."""
@@ -108,12 +147,18 @@ class Graph:
         self._adj[v].discard(u)
         self._m -= 1
         self._version += 1
+        self._mutation_log.append(
+            Mutation(self._version, "remove_edge", min(u, v), max(u, v))
+        )
 
     def add_vertex(self) -> int:
         """Append an isolated vertex and return its id."""
         self._adj.append(set())
         self._n += 1
         self._version += 1
+        self._mutation_log.append(
+            Mutation(self._version, "add_vertex", self._n - 1, -1)
+        )
         return self._n - 1
 
     # ------------------------------------------------------------------
@@ -138,6 +183,45 @@ class Graph:
         analysis can never be served after an ``add_edge``/``remove_edge``.
         """
         return self._version
+
+    @property
+    def mutation_log(self) -> tuple[Mutation, ...]:
+        """The retained window of structural changes, oldest first.
+
+        Bounded by :data:`MUTATION_LOG_CAPACITY`; each record's ``version``
+        is the graph version *after* that change.  The dynamic layer keys
+        incremental distance-matrix repair to this log.
+        """
+        return tuple(self._mutation_log)
+
+    def mutations_since(self, version: int) -> tuple[Mutation, ...] | None:
+        """Every mutation after ``version``, or ``None`` if out of window.
+
+        Returns the (possibly empty) run of records with
+        ``record.version > version`` when the log still covers the whole
+        gap ``version+1 .. self.version``; returns ``None`` when the
+        oldest needed record has been trimmed (callers must then fall back
+        to a full recompute) or when ``version`` is ahead of this graph.
+
+        >>> g = Graph(3)
+        >>> v0 = g.version
+        >>> g.add_edge(0, 1); g.add_edge(1, 2)
+        >>> [m.op for m in g.mutations_since(v0)]
+        ['add_edge', 'add_edge']
+        """
+        if version > self._version:
+            return None
+        gap = self._version - version
+        if gap == 0:
+            return ()
+        log = self._mutation_log
+        # records are consecutive (every bump is logged), so the window
+        # covers the gap iff it holds at least `gap` records
+        if gap > len(log):
+            return None
+        if gap == 1:  # the mutate-and-resolve hot path
+            return (log[-1],)
+        return tuple(itertools.islice(log, len(log) - gap, None))
 
     def vertices(self) -> range:
         """The vertex ids ``0..n-1``."""

@@ -146,3 +146,126 @@ def matrix_sweep(leg: str | MatrixLeg) -> list[Workload]:
                 f"unknown matrix leg {leg!r}; known: {', '.join(MATRIX)}"
             ) from None
     return leg.workloads()
+
+
+# ---------------------------------------------------------------------------
+# DYNAMIC legs: edge-churn streams over the MATRIX families
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnLeg:
+    """One named dynamic-update stream: seeded edge churn over a family graph.
+
+    The unit the ``DYNAMIC`` perf scenario (and
+    ``bench_e13_dynamic_updates.py``) sweeps: a base graph from an existing
+    workload family plus a deterministic stream of single-edge
+    inserts/deletes, the regime :mod:`repro.dynamic` repairs incrementally.
+    """
+
+    name: str
+    family: str
+    n: int
+    steps: int
+    seed: int = 0
+    #: Probability a step deletes a present edge (the rest insert one).
+    remove_fraction: float = 0.35
+    #: Constraint vector solvable on this family (for session-level runs).
+    spec: tuple[int, ...] = (2, 1)
+
+
+#: The named dynamic legs.  Sizes mirror the MATRIX timing range; the
+#: quick perf run takes the small leg, the full run the dense one.
+DYNAMIC: dict[str, ChurnLeg] = {
+    leg.name: leg
+    for leg in (
+        ChurnLeg("churn-diam2-small", "diam2", 24, 40),
+        ChurnLeg("churn-diam2-dense", "diam2", 48, 64),
+        ChurnLeg("churn-geometric", "geometric", 32, 48, spec=(2, 2, 1)),
+    )
+}
+
+
+def churn_stream(
+    leg: str | ChurnLeg,
+) -> tuple[Graph, list[tuple[str, int, int]]]:
+    """The leg's base graph plus its deterministic mutation stream.
+
+    Returns ``(base, ops)`` where each op is ``("add_edge", u, v)`` or
+    ``("remove_edge", u, v)``, valid when applied in order starting from a
+    fresh copy of ``base``.  Pure function of the leg (seeded), so any
+    measured number can be regenerated bit-for-bit.
+    """
+    if isinstance(leg, str):
+        try:
+            leg = DYNAMIC[leg]
+        except KeyError:
+            raise ReproError(
+                f"unknown dynamic leg {leg!r}; known: {', '.join(DYNAMIC)}"
+            ) from None
+    base = make_workload(leg.family, leg.n, leg.seed).graph
+    rng = np.random.default_rng(leg.seed + 0x5EED)
+    replica = base.copy()
+    floor = max(replica.n - 1, replica.m // 2)  # keep some density
+    ops: list[tuple[str, int, int]] = []
+    while len(ops) < leg.steps:
+        n = replica.n
+        if rng.random() < leg.remove_fraction and replica.m > floor:
+            edges = list(replica.edges())
+            u, v = edges[int(rng.integers(len(edges)))]
+            replica.remove_edge(u, v)
+            ops.append(("remove_edge", u, v))
+        else:
+            absent = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if not replica.has_edge(u, v)
+            ]
+            if not absent:
+                continue  # complete graph: next draw will delete
+            u, v = absent[int(rng.integers(len(absent)))]
+            replica.add_edge(u, v)
+            ops.append(("add_edge", u, v))
+    return base, ops
+
+
+def apply_churn_op(graph: Graph, op: tuple[str, int, int]) -> None:
+    """Apply one churn-stream op to ``graph``."""
+    kind, u, v = op
+    if kind == "add_edge":
+        graph.add_edge(u, v)
+    elif kind == "remove_edge":
+        graph.remove_edge(u, v)
+    else:
+        raise ReproError(f"unknown churn op {kind!r}")
+
+
+def churn_maintain(graph: Graph, ops, each=None) -> None:
+    """Maintain the distance matrix through ``ops`` with a delta engine.
+
+    The one incremental-measurement protocol shared by the perf suite, the
+    E13 benchmark and the ``dynamic`` CLI: a fresh copy of ``graph`` (so
+    the engine's seed APSP is part of the measured cost), then
+    apply-and-repair per op.  ``each(graph, dist)`` observes every
+    repaired matrix (the live engine-owned array) — verification hooks
+    must run it in a separate un-timed pass.
+    """
+    from repro.dynamic import DeltaEngine
+
+    g = graph.copy()
+    engine = DeltaEngine(g)
+    for op in ops:
+        apply_churn_op(g, op)
+        dist = engine.refresh(g)
+        if each is not None:
+            each(g, dist)
+
+
+def churn_recompute(graph: Graph, ops) -> None:
+    """The pre-dynamic cost model: one full APSP per mutation."""
+    from repro.graphs.traversal import all_pairs_distances
+
+    g = graph.copy()
+    all_pairs_distances(g)
+    for op in ops:
+        apply_churn_op(g, op)
+        all_pairs_distances(g)

@@ -12,9 +12,10 @@ The committed baseline is a normal trajectory payload plus a per-experiment
 Wall-time gating is per experiment: ratio ≤ ~1 is ``ok``, ratio within the
 experiment's tolerance is ``slower`` (pass, but reported), beyond it is a
 ``regression``.  On top of wall time, :data:`METRIC_GATES` guards the
-invariant counters — ``apsp_run_count`` must not grow, ``cache_hit_rate``
-must not fall — so a future PR cannot give back the oracle or cache wins
-while staying inside the timing noise.
+invariant counters — ``apsp_run_count`` and ``full_apsp_refresh_count``
+must not grow, ``cache_hit_rate`` must not fall — so a future PR cannot
+give back the oracle, cache or incremental-repair wins while staying
+inside the timing noise.
 """
 
 from __future__ import annotations
@@ -40,6 +41,9 @@ _NOISE_FLOOR = 1.15
 METRIC_GATES: dict[str, tuple[str, float]] = {
     "apsp_run_count": ("max", 0.0),
     "cache_hit_rate": ("min", 0.02),
+    # the dynamic engine may never abandon more incremental repairs per
+    # churn stream than the committed baseline records
+    "full_apsp_refresh_count": ("max", 0.0),
 }
 
 #: Verdict statuses that do NOT fail the comparison.

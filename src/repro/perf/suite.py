@@ -32,8 +32,16 @@ from repro.graphs.traversal import (
     all_pairs_distances_reference,
     apsp_run_count,
 )
+from repro.dynamic import full_apsp_refresh_count
 from repro.harness.runner import run_engines
-from repro.harness.workloads import MATRIX, matrix_sweep
+from repro.harness.workloads import (
+    DYNAMIC,
+    MATRIX,
+    churn_maintain,
+    churn_recompute,
+    churn_stream,
+    matrix_sweep,
+)
 from repro.labeling.spec import L21
 from repro.perf.environment import environment_provenance
 from repro.perf.schema import PerfRecord, Trajectory
@@ -228,6 +236,44 @@ def engine_sweep_scenario(repeats: int) -> PerfRecord:
     )
 
 
+def dynamic_churn_scenario(quick: bool, repeats: int) -> PerfRecord:
+    """The DYNAMIC leg: maintain distances through an edge-churn stream.
+
+    Times the delta engine (insert relaxation / affected-row recompute,
+    see :mod:`repro.dynamic`) over the leg's deterministic mutation
+    stream, against the pre-dynamic cost model — one full APSP per
+    mutation.  Metrics carry the measured speedup and the gated
+    ``full_apsp_refresh_count``: how many times one stream pass abandoned
+    incremental repair, which the baseline comparator never allows to
+    rise.
+    """
+    leg = DYNAMIC["churn-diam2-small" if quick else "churn-diam2-dense"]
+    base, ops = churn_stream(leg)
+
+    walls = _timed_repeats(
+        lambda: churn_maintain(base, ops), repeats, min_seconds=0.02
+    )
+    t_full = statistics.median(
+        _timed_repeats(lambda: churn_recompute(base, ops), repeats,
+                       min_seconds=0.02)
+    )
+    before = full_apsp_refresh_count()
+    churn_maintain(base, ops)
+    fallbacks = full_apsp_refresh_count() - before
+
+    median = statistics.median(walls)
+    return PerfRecord(
+        experiment=f"dynamic_churn:{leg.name}",
+        wall_seconds=walls,
+        metrics={
+            "n": leg.n,
+            "steps": len(ops),
+            "recompute_speedup": round(t_full / median, 2) if median > 0 else 0.0,
+            "full_apsp_refresh_count": fallbacks,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
@@ -257,6 +303,7 @@ def run_perf_suite(
     records = [
         apsp_oracle_scenario(quick, repeats),
         service_cache_scenario(quick, repeats),
+        dynamic_churn_scenario(quick, repeats),
     ]
     records.extend(reduction_leg_scenario(leg, repeats) for leg in legs)
     if not quick:

@@ -54,10 +54,18 @@ class LabelingService:
         spec: LpSpec,
         engine: str = "auto",
         tag: str | None = None,
+        analysis=None,
     ) -> ServiceResult:
-        """Solve (or recall) one request."""
+        """Solve (or recall) one request.
+
+        ``analysis`` optionally forwards a pre-computed
+        :class:`~repro.graphs.analysis.GraphAnalysis` for ``graph`` (a
+        session's delta-repaired oracle), so the canonical cache key is
+        derived without recomputing distances.
+        """
         results, _report = self.solver.solve_batch(
-            [SolveRequest(graph=graph, spec=spec, engine=engine, tag=tag)]
+            [SolveRequest(graph=graph, spec=spec, engine=engine, tag=tag,
+                          analysis=analysis)]
         )
         return results[0]
 

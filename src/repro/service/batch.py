@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.graphs.analysis import GraphAnalysis
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
@@ -50,6 +51,11 @@ class SolveRequest:
     spec: LpSpec
     engine: str = "auto"
     tag: str | None = None       # caller's correlation id (file name, ...)
+    #: Optional pre-computed oracle for ``graph`` (e.g. a session's
+    #: delta-repaired one); forwarded into canonicalization, where a stale
+    #: or foreign analysis is rejected loudly.  Never shipped to pool
+    #: workers — only the key derivation on this side reads it.
+    analysis: GraphAnalysis | None = None
 
 
 @dataclass(frozen=True)
@@ -196,7 +202,10 @@ class BatchSolver:
     ) -> tuple[list[ServiceResult], BatchReport]:
         """Answer every request; returns results in request order + report."""
         t0 = time.perf_counter()
-        forms = [canonical_form(r.graph, r.spec) for r in requests]
+        forms = [
+            canonical_form(r.graph, r.spec, analysis=r.analysis)
+            for r in requests
+        ]
         keys = [
             _composed_key(form, req) for form, req in zip(forms, requests)
         ]

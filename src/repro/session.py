@@ -13,6 +13,14 @@ from-scratch :func:`solve_labeling` otherwise.  The session's own value is
 bookkeeping: it re-validates after every mutation, records span
 trajectories, and reports which vertices' frequencies changed between
 assignments.
+
+Re-solves take the **dynamic fast path**: a session-held
+:class:`~repro.dynamic.DeltaEngine` repairs the previous version's
+distance matrix across each trial copy (insert relaxation / affected-row
+recompute, see :mod:`repro.dynamic`), so the applicability check, the
+re-solve — including the service's canonical cache key — and verification
+all reuse the repaired oracle and the mutation pays **zero** full APSP
+runs.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.dynamic import DeltaEngine
 from repro.errors import GraphError, ReductionNotApplicableError
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
@@ -91,6 +100,7 @@ class LabelingSession:
         self.engine = engine
         self.service = service
         self._history: list[SolveResult | ServiceResult] = []
+        self._engine: DeltaEngine | None = None
         self._resolve()
 
     # ------------------------------------------------------------------
@@ -157,15 +167,19 @@ class LabelingSession:
 
     # ------------------------------------------------------------------
     def _commit(self, trial: Graph) -> AssignmentDelta:
+        self._repair_oracle(trial)
         report = analyze(trial, self.spec)
         if not report.applicable:
+            # the engine advanced past the rejected version; drop it and
+            # rebuild lazily from the committed graph's (still warm) oracle
+            self._engine = None
             raise ReductionNotApplicableError(
                 f"mutation rejected: {report.reason()} (session rolled back)"
             )
         before = self.current if self._history else None
         self._graph = trial
-        # the applicability check above already paid for this version's
-        # APSP; forward its analysis so the re-solve computes none
+        # the applicability check above read the repaired (or, cold, the
+        # freshly computed) oracle; forward it so the re-solve computes none
         self._resolve(analysis=report.analysis)
         if before is None:
             return AssignmentDelta(self.span, self.span, ())
@@ -174,11 +188,36 @@ class LabelingSession:
         )
         return AssignmentDelta(before.span, self.span, relabeled, added)
 
+    def _repair_oracle(self, trial: Graph) -> None:
+        """Fast path: repair the previous oracle onto the trial copy.
+
+        The trial descends from ``self._graph`` by construction (copy plus
+        logged mutations), so the session's :class:`DeltaEngine` can
+        replay the gap and attach the repaired matrix as the trial's
+        memoized oracle — the applicability check, solver, canonical cache
+        key and verification that follow then run **zero** APSP kernels.
+        A cold session (first mutation after init) seeds the engine from
+        the initial solve's memoized analysis.
+        """
+        if self._engine is None:
+            warm = self._graph._analysis
+            if (
+                warm is None
+                or not warm.is_current()
+                or warm._distances is None
+            ):
+                return  # nothing to repair from; analyze pays the one APSP
+            self._engine = DeltaEngine(self._graph, warm)
+        self._engine.refresh(trial)
+        self._engine.attach(trial)
+
     def _resolve(self, analysis=None) -> None:
         if self.service is not None:
-            # the service canonicalizes through the graph's memoized oracle,
-            # which _commit's applicability check has already warmed
-            result = self.service.submit(self._graph, self.spec, engine=self.engine)
+            # forward the repaired oracle explicitly: the canonical cache
+            # key is derived from the same matrix the delta engine repaired
+            result = self.service.submit(
+                self._graph, self.spec, engine=self.engine, analysis=analysis
+            )
         else:
             result = solve_labeling(
                 self._graph, self.spec, engine=self.engine, analysis=analysis

@@ -38,6 +38,8 @@ MODULES = [
     "repro.service.cache",
     "repro.service.api",
     "repro.session",
+    "repro.dynamic.engine",
+    "repro.graphs.analysis",
 ]
 
 

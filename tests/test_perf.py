@@ -8,7 +8,13 @@ from pathlib import Path
 import pytest
 
 from repro.errors import ReproError
-from repro.harness.workloads import MATRIX, matrix_sweep
+from repro.harness.workloads import (
+    DYNAMIC,
+    MATRIX,
+    apply_churn_op,
+    churn_stream,
+    matrix_sweep,
+)
 from repro.labeling.spec import LpSpec
 from repro.perf import (
     DEFAULT_TOLERANCE,
@@ -356,6 +362,20 @@ class TestWorkloadMatrix:
         with pytest.raises(ReproError, match="unknown matrix leg"):
             matrix_sweep("warp-speed")
 
+    def test_dynamic_legs_stream_applies_cleanly(self):
+        # every op must be valid when applied in order from a fresh copy —
+        # exactly what the DYNAMIC perf scenario and bench E13 do
+        for name, leg in DYNAMIC.items():
+            base, ops = churn_stream(name)
+            assert len(ops) == leg.steps
+            g = base.copy()
+            for op in ops:
+                apply_churn_op(g, op)
+
+    def test_unknown_dynamic_leg(self):
+        with pytest.raises(ReproError, match="unknown dynamic leg"):
+            churn_stream("warp-speed")
+
 
 class TestSuiteValidation:
     def test_rejects_bad_repeats(self):
@@ -406,6 +426,8 @@ class TestCliPerf:
         cache = records["service_cache:n=20"]
         assert cache["metrics"]["cache_hits"] > 0
         assert cache["metrics"]["cache_hit_rate"] == pytest.approx(0.9)
+        dynamic = records["dynamic_churn:churn-diam2-small"]
+        assert dynamic["metrics"]["full_apsp_refresh_count"] == 0
         assert data["environment"]["calibration_seconds"] > 0
 
         # exercise the compare path against the committed baseline; only the
