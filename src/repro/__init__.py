@@ -37,6 +37,8 @@ from repro.service.api import LabelingService, solve_record
 from repro.service.batch import BatchReport, BatchSolver, ServiceResult, SolveRequest
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.canonical import CanonicalForm, canonical_form
+from repro.service.server import ConcurrentLabelingService, ServerStats
+from repro.service.shard import ShardedResultCache
 from repro.session import LabelingSession
 from repro.tsp.instance import TSPInstance
 from repro.tsp.portfolio import ENGINES, solve_path
@@ -47,6 +49,7 @@ _PERF_EXPORTS = ("PerfRecord", "Trajectory", "run_perf_suite")
 
 
 def __getattr__(name: str):
+    """Lazily resolve the perf-subsystem re-exports (PEP 562)."""
     if name in _PERF_EXPORTS:
         from repro import perf
 
@@ -76,6 +79,9 @@ __all__ = [
     "SolveRequest",
     "CacheStats",
     "ResultCache",
+    "ShardedResultCache",
+    "ConcurrentLabelingService",
+    "ServerStats",
     "CanonicalForm",
     "canonical_form",
     "DeltaEngine",

@@ -3,7 +3,10 @@
 Subcommands
 -----------
 ``solve``      solve L(p)-labeling for a graph file (edge-list or DIMACS)
-``batch``      solve many graphs through the caching batch service
+``batch``      solve many graphs through the caching batch service; with
+               ``--stream --workers K`` the stdin stream is served by the
+               concurrent front end and NDJSON records are emitted as
+               each request completes
 ``stats``      structural summary of a graph off one shared GraphAnalysis
 ``reduce``     print the reduced metric path-TSP weight matrix
 ``experiment`` run experiments from the E1–E11 reproduction suite
@@ -19,6 +22,10 @@ Subcommands
 Expected failures (missing files, unknown legs, invalid trajectories)
 surface as one-line ``error: ...`` messages with exit code 2, not
 tracebacks.
+
+:func:`render_reference` renders this whole argparse tree as Markdown;
+``docs/cli.md`` is its committed output (regenerate with ``make docs``,
+drift fails ``tests/test_docs.py``).
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ def _parse_spec(text: str) -> LpSpec:
 
 
 def _load_graph(path: str):
+    """Load a graph from a path, '-' (stdin), or a DIMACS .col file."""
     if path == "-":
         return gio.read_edge_list(sys.stdin)
     if path.endswith(".col") or path.endswith(".dimacs"):
@@ -56,6 +64,7 @@ def _load_graph(path: str):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    """``solve``: one labeling solve, human-readable or ``--json``."""
     graph = _load_graph(args.graph)
     spec = _parse_spec(args.p)
     result = solve_labeling(graph, spec, engine=args.engine)
@@ -91,7 +100,81 @@ def _batch_inputs(source: str) -> list[tuple[str, "object"]]:
     return pairs
 
 
+def _cmd_batch_stream(args: argparse.Namespace) -> int:
+    """Serve a stdin edge-list stream through the concurrent front end.
+
+    NDJSON serving mode: requests are submitted as they are read (the
+    bounded queue applies backpressure to the read loop) and one JSON
+    record is emitted per request *in completion order* — a slow cold
+    solve never holds up the cache hits behind it.
+    """
+    import queue as queue_mod
+
+    from repro.service.api import LabelingService
+    from repro.service.server import ConcurrentLabelingService
+
+    if args.source != "-":
+        raise ReproError(
+            "--stream serves the stdin edge-list stream; use `batch - --stream`"
+        )
+    spec = _parse_spec(args.p)
+    service = LabelingService(cache_path=args.cache)
+    server = ConcurrentLabelingService(
+        service=service,
+        workers=args.workers or 4,
+        queue_size=args.queue_size,
+    )
+    done: "queue_mod.Queue" = queue_mod.Queue()
+    submitted = printed = 0
+    exit_code = 0
+
+    def _print_ready(block: bool) -> None:
+        """Emit records for completed futures (optionally blocking for them)."""
+        nonlocal printed, exit_code
+        while printed < submitted:
+            try:
+                tag, graph, fut = done.get(block=block)
+            except queue_mod.Empty:
+                return
+            try:
+                record = solve_record(
+                    fut.result(), graph=graph, spec=spec,
+                    include_labels=args.labels, tag=tag,
+                )
+            except Exception as exc:  # per-request failure: report, keep serving
+                record = {"tag": tag, "error": str(exc)}
+                exit_code = 1
+            print(json.dumps(record), flush=True)
+            printed += 1
+
+    try:
+        for i, g in enumerate(gio.read_edge_list_stream(sys.stdin)):
+            tag = f"stdin[{i}]"
+            fut = server.submit(g, spec, engine=args.engine, tag=tag)
+            fut.add_done_callback(
+                lambda f, tag=tag, graph=g: done.put((tag, graph, f))
+            )
+            submitted += 1
+            _print_ready(block=False)
+        _print_ready(block=True)
+    finally:
+        server.shutdown(wait=True)
+    if args.cache:
+        service.save_cache()
+    summary = {
+        "server": server.stats.to_json(),
+        "cache": service.stats().to_json(),
+    }
+    if hasattr(service.cache, "contention_rate"):
+        summary["shard_lock_wait"] = round(service.cache.contention_rate, 4)
+    print(json.dumps(summary), file=sys.stderr)
+    return exit_code
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
+    """``batch``: solve many graphs via the caching service (JSON lines)."""
+    if args.stream:
+        return _cmd_batch_stream(args)
     spec = _parse_spec(args.p)
     inputs = _batch_inputs(args.source)
     if not inputs:
@@ -116,6 +199,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: structural graph summary off one shared analysis."""
     graph = _load_graph(args.graph)
     a = get_analysis(graph)
     connected = a.is_connected
@@ -149,6 +233,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
+    """``reduce``: print the reduced Path-TSP weight matrix."""
     graph = _load_graph(args.graph)
     spec = _parse_spec(args.p)
     red = reduce_to_path_tsp(graph, spec)
@@ -159,6 +244,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    """``experiment``: run named E-suite experiments (default: all)."""
     names = args.ids or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
@@ -169,18 +255,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: emit a named workload graph as an edge list."""
     wl = make_workload(args.family, args.n, args.seed)
     gio.write_edge_list(wl.graph, sys.stdout)
     return 0
 
 
 def _cmd_engines(_args: argparse.Namespace) -> int:
+    """``engines``: list the available TSP engine names."""
     for name in ENGINES:
         print(name)
     return 0
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
+    """``dynamic``: run a churn leg through the delta engine and report."""
     import dataclasses
     import time
 
@@ -257,6 +346,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf_run(args: argparse.Namespace) -> int:
+    """``perf run``: run the scenario suite and write BENCH_<k>.json."""
     from repro.perf import run_perf_suite, write_trajectory
 
     trajectory = run_perf_suite(
@@ -287,6 +377,7 @@ def _resolve_bench(args: argparse.Namespace):
 
 
 def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    """``perf compare``: gate a trajectory against the committed baseline."""
     from repro.perf import compare, load_baseline, load_trajectory
 
     bench = _resolve_bench(args)
@@ -304,6 +395,7 @@ def _cmd_perf_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf_baseline(args: argparse.Namespace) -> int:
+    """``perf baseline``: promote a trajectory to the committed baseline."""
     from repro.perf import load_trajectory, write_baseline
 
     bench = _resolve_bench(args)
@@ -346,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON cache file to warm-start from and persist to",
     )
     b.add_argument("--labels", action="store_true", help="include labels in records")
+    b.add_argument(
+        "--stream", action="store_true",
+        help="serve the stdin stream concurrently; emit records as they "
+             "complete (source must be -)",
+    )
+    b.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="submission-queue high-water mark for --stream (default 64)",
+    )
     b.set_defaults(fn=_cmd_batch)
 
     st = sub.add_parser(
@@ -433,6 +534,63 @@ def build_parser() -> argparse.ArgumentParser:
                     help="baseline file to write (default: benchmarks/baseline.json)")
     pb.set_defaults(fn=_cmd_perf_baseline)
     return ap
+
+
+def render_reference(parser: argparse.ArgumentParser | None = None) -> str:
+    """Render the CLI reference as Markdown from the live argparse tree.
+
+    ``docs/cli.md`` is this function's committed output (``make docs``
+    regenerates it); ``tests/test_docs.py`` re-renders and fails on drift,
+    so the written reference can never fall behind the actual parser.
+    Help text is formatted at a pinned width (via ``COLUMNS``) so the
+    output does not depend on the generating terminal.
+    """
+    import os
+
+    saved = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        parser = parser or build_parser()
+        lines = [
+            f"# `{parser.prog}` CLI reference",
+            "",
+            "<!-- Generated by `make docs` (repro.cli.render_reference). "
+            "Do not edit by hand. -->",
+            "",
+            str(parser.description),
+            "",
+            "Also invocable as `python -m repro`.  Expected operational "
+            "failures (missing files, unknown legs, invalid trajectories) "
+            "exit with code 2 and a one-line `error: ...` message on "
+            "stderr.",
+            "",
+        ]
+
+        def walk(p: argparse.ArgumentParser, parts: list[str]) -> None:
+            """Recurse over subparsers, appending one section per subcommand."""
+            for action in p._actions:
+                if not isinstance(action, argparse._SubParsersAction):
+                    continue
+                for name, sub in action.choices.items():
+                    lines.extend(
+                        (
+                            f"## `{' '.join(parts + [name])}`",
+                            "",
+                            "```text",
+                            sub.format_help().rstrip(),
+                            "```",
+                            "",
+                        )
+                    )
+                    walk(sub, parts + [name])
+
+        walk(parser, [parser.prog])
+        return "\n".join(lines).rstrip() + "\n"
+    finally:
+        if saved is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = saved
 
 
 def main(argv: list[str] | None = None) -> int:

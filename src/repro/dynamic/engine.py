@@ -60,6 +60,7 @@ def full_apsp_refresh_count() -> int:
 
 
 def _count_full_refresh() -> None:
+    """Bump the process-wide abandoned-repair counter."""
     global _FULL_REFRESHES
     _FULL_REFRESHES += 1
 
@@ -165,6 +166,7 @@ class DeltaEngine:
         analysis: GraphAnalysis | None = None,
         delete_fallback_fraction: float = DELETE_FALLBACK_FRACTION,
     ) -> None:
+        """Seed the engine from ``graph``'s (or the given) current analysis."""
         a = ensure_current(graph, analysis)
         self.dist = np.array(a.distances, dtype=np.int64, copy=True)
         self.adj = graph.adjacency_matrix(dtype=np.bool_)
@@ -190,6 +192,7 @@ class DeltaEngine:
 
     @property
     def n(self) -> int:
+        """Vertex count of the maintained distance matrix."""
         return self.dist.shape[0]
 
     # ------------------------------------------------------------------
@@ -283,6 +286,7 @@ class DeltaEngine:
         )
 
     def _valid_pair(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is a distinct in-range vertex pair."""
         return 0 <= u < self.n and 0 <= v < self.n and u != v
 
     def _full_resync(self, graph: Graph) -> None:
@@ -431,6 +435,7 @@ def apply_delta(prior: GraphAnalysis, mutation: Mutation) -> GraphAnalysis:
 
 
 def _grown(muts: tuple[Mutation, ...]) -> int:
+    """How many vertex-adds a mutation window contains."""
     return sum(1 for m in muts if m.op == "add_vertex")
 
 

@@ -38,3 +38,15 @@ class SolverError(ReproError):
 
 class NotMetricError(ReproError):
     """A TSP instance violated the triangle inequality where one was required."""
+
+
+class ServiceClosedError(ReproError):
+    """A request was submitted to a serving front-end after shutdown began."""
+
+
+class ServiceOverloadedError(ReproError):
+    """A non-blocking submission found the serving queue at its high-water mark.
+
+    Raised only when backpressure is configured to reject (``block=False``);
+    blocking submissions wait for queue space instead.
+    """

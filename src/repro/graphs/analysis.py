@@ -72,6 +72,7 @@ class GraphAnalysis:
     )
 
     def __init__(self, graph: Graph) -> None:
+        """Bind to ``graph`` at its current version; all caches start lazy."""
         self.graph = graph
         self.version = graph.version
         self.n = graph.n
@@ -205,6 +206,7 @@ class GraphAnalysis:
 
     @property
     def component_count(self) -> int:
+        """Number of connected components."""
         return len(self.components)
 
     # ------------------------------------------------------------------

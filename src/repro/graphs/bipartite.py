@@ -45,6 +45,7 @@ def hopcroft_karp(
     dist = [0.0] * n_left
 
     def bfs() -> bool:
+        """Layer the free left vertices; True while augmenting paths exist."""
         queue: deque[int] = deque()
         for u in range(n_left):
             if match_l[u] == -1:
@@ -65,6 +66,7 @@ def hopcroft_karp(
         return found
 
     def dfs(u: int) -> bool:
+        """Try to extend an augmenting path from left vertex ``u``."""
         for v in adj[u]:
             w = match_r[v]
             if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):

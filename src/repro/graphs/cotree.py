@@ -32,6 +32,7 @@ class Cotree:
     children: tuple["Cotree", ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
+        """Validate the leaf/internal shape invariants."""
         if self.kind == "leaf":
             if self.children:
                 raise GraphError("cotree leaf cannot have children")
@@ -41,6 +42,7 @@ class Cotree:
 
     @property
     def n_leaves(self) -> int:
+        """Number of leaves (= vertices of the represented cograph)."""
         if self.kind == "leaf":
             return 1
         return sum(c.n_leaves for c in self.children)
@@ -126,6 +128,7 @@ def is_cograph(graph: Graph) -> bool:
     from repro.graphs.traversal import connected_components
 
     def rec(g: Graph) -> bool:
+        """Recursively check that every induced quotient is union/join."""
         if g.n <= 2:
             return True
         comps = connected_components(g)

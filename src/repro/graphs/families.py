@@ -126,6 +126,7 @@ def lollipop_graph(clique: int, tail: int) -> Graph:
 
 
 def _is_prime(x: int) -> bool:
+    """Trial-division primality check (inputs are small)."""
     if x < 2:
         return False
     d = 2

@@ -27,6 +27,7 @@ from repro.graphs.traversal import diameter, is_connected
 
 
 def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or pass through a Generator) into a Generator."""
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)

@@ -65,6 +65,7 @@ class Graph:
     __slots__ = ("_n", "_adj", "_m", "_version", "_analysis", "_mutation_log")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        """Build a graph on ``n`` vertices with an optional edge iterable."""
         if n < 0:
             raise GraphError(f"vertex count must be non-negative, got {n}")
         self._n = int(n)
@@ -285,23 +286,29 @@ class Graph:
     # dunder protocol
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        """Structural equality: same vertex count and edge set."""
         if not isinstance(other, Graph):
             return NotImplemented
         return self._n == other._n and self._adj == other._adj
 
     def __hash__(self) -> int:  # content hash; graphs are small in practice
+        """Content hash of the adjacency structure."""
         return hash((self._n, tuple(tuple(sorted(s)) for s in self._adj)))
 
     def __repr__(self) -> str:
+        """Compact ``Graph(n=..., m=...)`` form."""
         return f"Graph(n={self._n}, m={self._m})"
 
     def __len__(self) -> int:
+        """Vertex count."""
         return self._n
 
     def __contains__(self, v: int) -> bool:
+        """Whether ``v`` is a valid vertex id."""
         return 0 <= v < self._n
 
     # ------------------------------------------------------------------
     def _check_vertex(self, v: int) -> None:
+        """Raise :class:`GraphError` unless ``v`` is in range."""
         if not (0 <= v < self._n):
             raise GraphError(f"vertex {v} out of range [0, {self._n})")

@@ -162,6 +162,7 @@ def from_edge_list_string(text: str) -> Graph:
 
 
 def _open(target: TextIO | str | Path, mode: str) -> tuple[bool, TextIO]:
+    """Return ``(owns_handle, file)`` for a path or passthrough stream."""
     if isinstance(target, (str, Path)):
         return True, open(target, mode, encoding="utf-8")
     return False, target

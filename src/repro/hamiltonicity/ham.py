@@ -95,6 +95,7 @@ def find_hamiltonian_cycle(graph: Graph) -> list[int] | None:
 
 
 def _walk_back(graph: Graph, reach: np.ndarray, s: int, end: int) -> list[int]:
+    """Reconstruct a path from the BFS reachability layers, end to start."""
     order = [end]
     v = end
     while s != (1 << v):

@@ -47,6 +47,7 @@ class ExperimentResult:
 
     @property
     def passed(self) -> bool:
+        """True when every claim check of the experiment held."""
         return all(ok for _, ok in self.checks)
 
     def render(self) -> str:

@@ -14,6 +14,7 @@ import numpy as np
 
 @dataclass(frozen=True)
 class Summary:
+    """Five-number summary (n, mean, stdev, min, max) of a sample."""
     n: int
     mean: float
     std: float

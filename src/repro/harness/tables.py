@@ -11,6 +11,7 @@ from typing import Any, Sequence
 
 
 def _fmt(x: Any) -> str:
+    """Format one cell: floats get adaptive precision, rest ``str``."""
     if isinstance(x, float):
         if x == 0:
             return "0"
@@ -28,6 +29,7 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
         for i, h in enumerate(headers)
     ]
     def line(items: Sequence[str]) -> str:
+        """Join one row's cells at the computed column widths."""
         return "  ".join(s.ljust(w) for s, w in zip(items, widths)).rstrip()
 
     sep = "  ".join("-" * w for w in widths)

@@ -30,40 +30,49 @@ class Workload:
 
     @property
     def label(self) -> str:
+        """Human-readable provenance tag for tables and reports."""
         return f"{self.family}(n={self.n}, seed={self.seed})"
 
 
 def _diam2(n: int, seed: int) -> Graph:
+    """Random diameter-<=2 graph (the paper's core regime)."""
     return gen.random_graph_with_diameter_at_most(n, 2, seed=seed)
 
 
 def _diam3(n: int, seed: int) -> Graph:
+    """Random diameter-<=3 graph (sparser topologies)."""
     return gen.random_graph_with_diameter_at_most(n, 3, seed=seed)
 
 
 def _dense(n: int, seed: int) -> Graph:
+    """Dense diameter-2 variant (Generator-seeded edge draw)."""
     return gen.random_graph_with_diameter_at_most(n, 2, seed=np.random.default_rng(seed))
 
 
 def _geometric(n: int, seed: int) -> Graph:
     # radius tuned to keep the diameter small at moderate n
+    """Random geometric radio-network graph at a diameter-friendly radius."""
     g, _pos = gen.random_geometric_graph(n, radius=0.55, seed=seed)
     return g
 
 def _split(n: int, seed: int) -> Graph:
+    """Random split graph: clique half plus independent half."""
     clique = max(2, n // 2)
     return gen.random_split_graph(clique, n - clique, p=0.7, seed=seed)
 
 
 def _cograph(n: int, seed: int) -> Graph:
+    """Random connected cograph (structured special-case solvers)."""
     return random_connected_cograph(n, seed=seed)
 
 
 def _wheel(n: int, seed: int) -> Graph:
+    """Wheel graph on ``n`` vertices (hub + rim)."""
     return gen.wheel_graph(max(n - 1, 3))
 
 
 def _complete_bipartite(n: int, seed: int) -> Graph:
+    """Complete bipartite graph with near-even sides."""
     a = max(1, n // 2)
     return gen.complete_bipartite_graph(a, n - a)
 
@@ -115,6 +124,7 @@ class MatrixLeg:
     spec: tuple[int, ...] = (2, 1)
 
     def workloads(self) -> list[Workload]:
+        """Instantiate the leg's full size x seed grid."""
         return sweep(self.family, list(self.sizes), list(self.seeds))
 
 
@@ -226,6 +236,102 @@ def churn_stream(
             replica.add_edge(u, v)
             ops.append(("add_edge", u, v))
     return base, ops
+
+
+# ---------------------------------------------------------------------------
+# SERVICE legs: mixed hot/cold request streams for the serving front end
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceLeg:
+    """One named serving stream: a mixed hot/cold request mix.
+
+    The unit the ``SERVICE`` perf scenario (and
+    ``bench_e14_concurrent_service.py``) serves through the
+    :class:`~repro.service.server.ConcurrentLabelingService`: *hot*
+    requests are relabeled copies of a small pool of base topologies (the
+    repeats a cache and in-flight dedup exist for), *cold* requests are
+    distinct graphs seen exactly once (the part only parallel solving can
+    speed up).  The interleaving is a seeded shuffle, so every stream is a
+    pure function of the leg.
+    """
+
+    name: str
+    family: str
+    n: int
+    requests: int
+    #: Fraction of requests drawn (relabeled) from the hot pool.
+    hot_fraction: float = 0.75
+    #: Number of distinct hot topologies.
+    hot_pool: int = 2
+    seed: int = 0
+    #: Constraint vector solvable on this family.
+    spec: tuple[int, ...] = (2, 1)
+    engine: str = "lk"
+
+    @property
+    def unique(self) -> int:
+        """Distinct problems in the stream (hot pool + cold singletons)."""
+        return self.hot_pool + (self.requests - round(self.requests * self.hot_fraction))
+
+
+#: The named serving legs.  The quick perf run serves the small leg, the
+#: full run the dense one; the cold-heavy leg is the scaling benchmark's
+#: worst case (nothing to dedup, every request an engine run).
+SERVICE: dict[str, ServiceLeg] = {
+    leg.name: leg
+    for leg in (
+        ServiceLeg("mixed-small", "diam2", 20, 12),
+        ServiceLeg("mixed-dense", "diam2", 24, 24),
+        ServiceLeg("cold-scaling", "diam2", 24, 8, hot_fraction=0.0, hot_pool=0),
+    )
+}
+
+
+def service_stream(leg: str | ServiceLeg) -> list:
+    """Instantiate one SERVICE leg as an ordered list of ``SolveRequest``\\ s.
+
+    Hot requests arrive under fresh vertex permutations (only the
+    canonical form can recognise them); cold requests use seeds disjoint
+    from the hot pool's.  Deterministic: same leg, same stream.
+    """
+    from repro.service.batch import SolveRequest
+    from repro.graphs.operations import relabel
+    from repro.labeling.spec import LpSpec
+
+    if isinstance(leg, str):
+        try:
+            leg = SERVICE[leg]
+        except KeyError:
+            raise ReproError(
+                f"unknown service leg {leg!r}; known: {', '.join(SERVICE)}"
+            ) from None
+    rng = np.random.default_rng(leg.seed + 0xCAFE)
+    spec = LpSpec(leg.spec)
+    hot_count = round(leg.requests * leg.hot_fraction)
+    hot_bases = [
+        make_workload(leg.family, leg.n, 101 + s).graph
+        for s in range(leg.hot_pool)
+    ]
+    requests = [
+        SolveRequest(
+            relabel(hot_bases[i % leg.hot_pool],
+                    rng.permutation(leg.n).tolist()),
+            spec,
+            engine=leg.engine,
+            tag=f"hot[{i}]",
+        )
+        for i in range(hot_count)
+    ]
+    requests += [
+        SolveRequest(
+            make_workload(leg.family, leg.n, 1000 + i).graph,
+            spec,
+            engine=leg.engine,
+            tag=f"cold[{i}]",
+        )
+        for i in range(leg.requests - hot_count)
+    ]
+    return [requests[int(i)] for i in rng.permutation(len(requests))]
 
 
 def apply_churn_op(graph: Graph, op: tuple[str, int, int]) -> None:

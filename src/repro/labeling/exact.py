@@ -71,6 +71,7 @@ def _search(req: np.ndarray, order: list[int], lam: int) -> list[int] | None:
     # symmetry breaking: the first vertex may take labels 0..floor(lam/2)
     # (a labeling can always be mirrored x -> lam - x).
     def dfs(i: int) -> bool:
+        """Backtracking assignment of vertex ``i`` under the span budget."""
         if i == n:
             return True
         v = order[i]

@@ -92,6 +92,7 @@ def _resolve_order(
     order: Order | Sequence[int],
     seed: int | np.random.Generator | None,
 ) -> list[int]:
+    """Materialize a named strategy or explicit sequence into an order."""
     n = graph.n
     if not isinstance(order, str):
         perm = [int(v) for v in order]

@@ -40,17 +40,20 @@ class Labeling:
     labels: tuple[int, ...]
 
     def __post_init__(self) -> None:
+        """Reject negative or non-integer labels at construction."""
         if any((not isinstance(x, (int, np.integer))) or x < 0 for x in self.labels):
             raise ReproError("labels must be non-negative integers")
         object.__setattr__(self, "labels", tuple(int(x) for x in self.labels))
 
     @classmethod
     def from_sequence(cls, labels: Sequence[int]) -> "Labeling":
+        """Build from any integer sequence (values are coerced to int)."""
         return cls(tuple(int(x) for x in labels))
 
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        """Number of labeled vertices."""
         return len(self.labels)
 
     @property
@@ -59,12 +62,15 @@ class Labeling:
         return max(self.labels, default=0)
 
     def __getitem__(self, v: int) -> int:
+        """Label of vertex ``v``."""
         return self.labels[v]
 
     def __iter__(self) -> Iterator[int]:
+        """Iterate labels in vertex order."""
         return iter(self.labels)
 
     def __len__(self) -> int:
+        """Number of labeled vertices."""
         return len(self.labels)
 
     # ------------------------------------------------------------------

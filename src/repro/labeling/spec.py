@@ -32,6 +32,7 @@ class LpSpec:
     p: tuple[int, ...]
 
     def __post_init__(self) -> None:
+        """Validate the constraint vector (non-empty, positive entries)."""
         if not self.p:
             raise ReproError("p must have at least one entry")
         if any((not isinstance(x, int)) or x < 0 for x in self.p):
@@ -52,10 +53,12 @@ class LpSpec:
 
     @cached_property
     def pmin(self) -> int:
+        """Smallest constraint entry."""
         return min(self.p)
 
     @cached_property
     def pmax(self) -> int:
+        """Largest constraint entry."""
         return max(self.p)
 
     @property
@@ -82,6 +85,7 @@ class LpSpec:
         return LpSpec(tuple(c * x for x in self.p))
 
     def __str__(self) -> str:
+        """The conventional ``L(p1, p2, ...)`` notation."""
         return f"L({', '.join(map(str, self.p))})"
 
 

@@ -98,6 +98,7 @@ def _rooted(tree: Graph) -> tuple[int, list[list[int]], list[int]]:
 
 
 def _feasible_span(tree: Graph, lam: int) -> bool:
+    """Whether the tree admits an L(2,1) labeling of span ``lam``."""
     root, children, _ = _rooted(tree)
 
     @lru_cache(maxsize=None)
@@ -129,10 +130,12 @@ def _feasible_span(tree: Graph, lam: int) -> bool:
 
 
 def _construct(tree: Graph, lam: int) -> Labeling:
+    """Build a span-``lam`` tree labeling from the feasibility DP."""
     root, children, _ = _rooted(tree)
 
     @lru_cache(maxsize=None)
     def feasible(v: int, a: int, b: int) -> bool:
+        """DP: can ``v`` take label ``b`` under parent label ``a``?"""
         if a != NO_PARENT and abs(a - b) < 2:
             return False
         kids = children[v]
@@ -159,6 +162,7 @@ def _construct(tree: Graph, lam: int) -> Labeling:
     out[root] = root_label
 
     def assign(v: int, a: int) -> None:
+        """Top-down: commit labels to ``v``'s children given parent ``a``."""
         b = out[v]
         kids = children[v]
         if not kids:

@@ -104,9 +104,11 @@ def chromatic_number_exact(graph: Graph, max_n: int = 40) -> tuple[int, list[int
 def _color_with_budget(
     n: int, order: list[int], adj: list[frozenset[int]], budget: int
 ) -> list[int] | None:
+    """Exact backtracking colouring within a colour budget (or None)."""
     colors = [-1] * n
 
     def dfs(i: int, used: int) -> bool:
+        """Assign a colour to vertex ``i`` consistent with earlier choices."""
         if i == n:
             return True
         v = order[i]

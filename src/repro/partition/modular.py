@@ -78,6 +78,7 @@ class MDNode:
 
     @property
     def width_contribution(self) -> int:
+        """This node's contribution to the modular width (prime arity or 2)."""
         return len(self.children) if self.kind == "prime" else 2
 
     def iter_nodes(self) -> Iterable["MDNode"]:

@@ -103,6 +103,7 @@ def partition_into_paths_exact(
 
 
 def _bits(s: int, n: int) -> np.ndarray:
+    """Bitmask ``s`` as a boolean membership vector of length ``n``."""
     return (s >> np.arange(n)) & 1 == 1
 
 
@@ -160,6 +161,7 @@ def partition_into_paths_greedy(
 def _peel_once(
     graph: Graph, rng: np.random.Generator, randomize: bool
 ) -> list[list[int]]:
+    """One greedy pass: peel vertex-disjoint paths until all consumed."""
     n = graph.n
     used = np.zeros(n, dtype=bool)
     adj = graph.adjacency_sets()
@@ -167,12 +169,14 @@ def _peel_once(
     paths: list[list[int]] = []
 
     def pick_start() -> int:
+        """Choose an unused start vertex (lowest remaining degree)."""
         free = np.flatnonzero(~used)
         degs = remaining_deg[free]
         lows = free[degs == degs.min()]
         return int(rng.choice(lows)) if randomize else int(lows[0])
 
     def step(v: int) -> int | None:
+        """Extend the current path from ``v`` (lowest-degree neighbour)."""
         options = [u for u in adj[v] if not used[u]]
         if not options:
             return None
@@ -182,6 +186,7 @@ def _peel_once(
         return int(rng.choice(lows)) if randomize else min(lows)
 
     def consume(v: int) -> None:
+        """Mark ``v`` used and retire it from remaining degrees."""
         used[v] = True
         for u in adj[v]:
             remaining_deg[u] -= 1

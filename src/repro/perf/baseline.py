@@ -44,6 +44,10 @@ METRIC_GATES: dict[str, tuple[str, float]] = {
     # the dynamic engine may never abandon more incremental repairs per
     # churn stream than the committed baseline records
     "full_apsp_refresh_count": ("max", 0.0),
+    # sharded-cache lock contention per operation (SERVICE scenario): the
+    # slack absorbs scheduler noise, but a design change that reintroduces
+    # a global-lock hot spot fails here, not in the timing noise
+    "shard_lock_wait": ("max", 0.05),
 }
 
 #: Verdict statuses that do NOT fail the comparison.
@@ -76,9 +80,11 @@ class Verdict:
 
     @property
     def passed(self) -> bool:
+        """Whether this verdict's status is non-failing."""
         return self.status in PASSING
 
     def to_json(self) -> dict:
+        """JSON form of the verdict (ratio included when present)."""
         out = {
             "experiment": self.experiment,
             "status": self.status,
@@ -97,9 +103,11 @@ class ComparisonReport:
 
     @property
     def passed(self) -> bool:
+        """True when every experiment's verdict passed."""
         return all(v.passed for v in self.verdicts)
 
     def render(self) -> str:
+        """Human-readable PASS/FAIL listing plus the aggregate gate line."""
         lines = []
         for v in self.verdicts:
             mark = "PASS" if v.passed else "FAIL"
@@ -112,6 +120,7 @@ class ComparisonReport:
         return "\n".join(lines)
 
     def to_json(self) -> dict:
+        """JSON form: the aggregate flag plus every verdict."""
         return {
             "passed": self.passed,
             "verdicts": [v.to_json() for v in self.verdicts],
@@ -119,6 +128,7 @@ class ComparisonReport:
 
 
 def _calibration(environment: dict) -> float | None:
+    """The environment's calibration seconds, if present and positive."""
     cal = environment.get("calibration_seconds")
     if isinstance(cal, (int, float)) and cal > 0:
         return float(cal)
@@ -306,6 +316,7 @@ def write_baseline(
 def _merged(
     path: Path, new: Trajectory, tolerances: dict[str, float] | None
 ) -> tuple[Trajectory, dict[str, float]]:
+    """Merge a promoted trajectory into the existing baseline file."""
     old, old_tol = load_baseline(path)
     # the merged file carries ONE environment (the new one), so records kept
     # from the old baseline must be rescaled from the old machine's

@@ -45,6 +45,7 @@ class PerfRecord:
         return float(statistics.median(self.wall_seconds))
 
     def to_json(self) -> dict:
+        """JSON form of one scenario record (walls rounded to microseconds)."""
         return {
             "experiment": self.experiment,
             "wall_seconds": [round(s, 6) for s in self.wall_seconds],
@@ -54,6 +55,7 @@ class PerfRecord:
 
     @classmethod
     def from_json(cls, data: dict) -> "PerfRecord":
+        """Parse one record; values are coerced to their schema types."""
         return cls(
             experiment=str(data["experiment"]),
             wall_seconds=tuple(float(s) for s in data["wall_seconds"]),
@@ -76,9 +78,11 @@ class Trajectory:
     schema_version: int = SCHEMA_VERSION
 
     def record_map(self) -> dict[str, PerfRecord]:
+        """Records keyed by experiment name."""
         return {r.experiment: r for r in self.records}
 
     def to_json(self) -> dict:
+        """JSON form of the whole trajectory (schema-versioned)."""
         return {
             "schema_version": self.schema_version,
             "kind": self.kind,
@@ -88,6 +92,7 @@ class Trajectory:
 
     @classmethod
     def from_json(cls, data: dict) -> "Trajectory":
+        """Parse and validate a trajectory payload (raises on problems)."""
         problems = validate_trajectory(data)
         if problems:
             raise ReproError(

@@ -2,7 +2,9 @@
 
 Each scenario re-measures one perf claim the repo has already paid for —
 the vectorized-APSP win and the one-APSP-per-solve invariant (E12), the
-service cache's duplicate-stream speedup (E11), the Theorem-2 reduction
+service cache's duplicate-stream speedup (E11), the dynamic engine's
+churn-stream win (E13), the concurrent front end's serving throughput
+over the SERVICE hot/cold streams (E14), the Theorem-2 reduction
 and end-to-end engine cost over the named workload matrix — and returns a
 :class:`~repro.perf.schema.PerfRecord` with per-repeat wall times plus the
 scenario's counters (``apsp_run_count``, cache-hit stats, spans/ratios).
@@ -37,10 +39,12 @@ from repro.harness.runner import run_engines
 from repro.harness.workloads import (
     DYNAMIC,
     MATRIX,
+    SERVICE,
     churn_maintain,
     churn_recompute,
     churn_stream,
     matrix_sweep,
+    service_stream,
 )
 from repro.labeling.spec import L21
 from repro.perf.environment import environment_provenance
@@ -131,6 +135,7 @@ def service_cache_scenario(quick: bool, repeats: int) -> PerfRecord:
     engine = "lk"
 
     def make_stream() -> list[SolveRequest]:
+        """Fresh 90%-dup request stream (relabeled copies of few bases)."""
         bases = [
             gen.random_graph_with_diameter_at_most(n, 2, seed=17 * s)
             for s in range(unique)
@@ -148,6 +153,7 @@ def service_cache_scenario(quick: bool, repeats: int) -> PerfRecord:
     svc: LabelingService | None = None
 
     def run_batch() -> None:
+        """One timed repeat: cold service, one batch of the stream."""
         nonlocal svc
         svc = LabelingService(workers=1)
         svc.submit_many(make_stream())
@@ -161,6 +167,7 @@ def service_cache_scenario(quick: bool, repeats: int) -> PerfRecord:
     from repro.reduction.solver import solve_labeling
 
     def run_nocache() -> None:
+        """Baseline: every stream request solved from scratch."""
         for req in make_stream():
             solve_labeling(req.graph, req.spec, engine=engine)
 
@@ -190,6 +197,7 @@ def reduction_leg_scenario(leg_name: str, repeats: int) -> PerfRecord:
     spec = LpSpec(MATRIX[leg_name].spec)
 
     def run_leg() -> None:
+        """Reduce every workload of the leg once (fresh graph copies)."""
         for wl in workloads:
             reduce_to_path_tsp(wl.graph.copy(), spec)
 
@@ -211,6 +219,7 @@ def engine_sweep_scenario(repeats: int) -> PerfRecord:
 
     def run_sweep() -> list:
         # fresh graph copies: run_engines prewarms each workload's analysis
+        """One full engine-ladder pass over fresh workload copies."""
         fresh = [
             dataclasses.replace(w, graph=w.graph.copy())
             for w in matrix_sweep("diam2-small")
@@ -220,6 +229,7 @@ def engine_sweep_scenario(repeats: int) -> PerfRecord:
     runs: list = []
 
     def timed() -> None:
+        """Timed wrapper keeping the last sweep's runs for the metrics."""
         nonlocal runs
         runs = run_sweep()
 
@@ -274,6 +284,83 @@ def dynamic_churn_scenario(quick: bool, repeats: int) -> PerfRecord:
     )
 
 
+def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
+    """The SERVICE leg: requests/sec through the concurrent front end.
+
+    Serves one mixed hot/cold stream (``harness.workloads.SERVICE``)
+    through a fresh :class:`ConcurrentLabelingService` at 1, 4 and (full
+    runs) 8 workers, submitting from concurrent client threads so the
+    sharded cache's locks see real contention.  ``wall_seconds`` times the
+    4-worker configuration (the serving default); metrics carry the
+    per-width requests/sec, the 4-vs-1 scaling ratio, the deterministic
+    ``cache_hit_rate`` (hits + coalesced over submissions — a function of
+    the stream, not of scheduling), and the gated ``shard_lock_wait``
+    contention rate, which the baseline comparator never allows to rise.
+
+    On a single-CPU host cold solves cannot parallelize (the workers
+    solve inline; process offload would only add overhead), so the
+    scaling ratio reflects queuing/coalescing alone there; the ≥2x
+    multi-core floor is asserted by ``bench_e14_concurrent_service.py``.
+    """
+    from concurrent.futures import ThreadPoolExecutor, wait
+
+    from repro.service.server import ConcurrentLabelingService
+
+    leg = SERVICE["mixed-small" if quick else "mixed-dense"]
+    widths = (1, 4) if quick else (1, 4, 8)
+    clients = 4
+
+    def serve(workers: int) -> tuple[float, ConcurrentLabelingService]:
+        """Serve one fresh stream at ``workers``; returns (wall, server)."""
+        stream = service_stream(leg)  # fresh graphs: cold oracles, cold cache
+        server = ConcurrentLabelingService(workers=workers)
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = list(
+                pool.map(
+                    lambda r: server.submit(
+                        r.graph, r.spec, engine=r.engine, tag=r.tag
+                    ),
+                    stream,
+                )
+            )
+            wait(futures)
+        wall = time.perf_counter() - t0
+        server.shutdown(wait=True)
+        return wall, server
+
+    rps: dict[int, list[float]] = {w: [] for w in widths}
+    walls = []
+    last: ConcurrentLabelingService | None = None
+    serve(widths[-1])  # warm-up (allocator, thread machinery)
+    for _ in range(repeats):
+        for w in widths:
+            wall, server = serve(w)
+            rps[w].append(leg.requests / wall if wall > 0 else 0.0)
+            if w == 4:
+                walls.append(wall)
+                last = server
+
+    assert last is not None
+    cache = last.cache
+    median_rps = {w: statistics.median(r) for w, r in rps.items()}
+    metrics = {
+        "requests": leg.requests,
+        "unique": leg.unique,
+        "cache_hit_rate": round(last.stats.hit_rate, 4),
+        "shard_lock_wait": round(cache.contention_rate, 4),
+        "workers_speedup_4": round(median_rps[4] / median_rps[1], 2)
+        if median_rps[1] > 0 else 0.0,
+    }
+    for w in widths:
+        metrics[f"rps_w{w}"] = round(median_rps[w], 2)
+    return PerfRecord(
+        experiment=f"concurrent_service:{leg.name}",
+        wall_seconds=tuple(walls),
+        metrics=metrics,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
@@ -304,6 +391,7 @@ def run_perf_suite(
         apsp_oracle_scenario(quick, repeats),
         service_cache_scenario(quick, repeats),
         dynamic_churn_scenario(quick, repeats),
+        concurrent_service_scenario(quick, repeats),
     ]
     records.extend(reduction_leg_scenario(leg, repeats) for leg in legs)
     if not quick:

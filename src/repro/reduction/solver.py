@@ -41,6 +41,7 @@ class SolveResult:
 
     @property
     def order(self) -> tuple[int, ...]:
+        """The solved Hamiltonian path's vertex order."""
         return self.path.order
 
 
@@ -115,6 +116,7 @@ class LpTspSolver:
     """
 
     def __init__(self, spec: LpSpec, engine: str = "auto", verify: bool = True):
+        """Bind a spec, engine choice and verification policy."""
         self.spec = spec
         self.engine = engine
         self.verify = verify

@@ -46,6 +46,7 @@ class ReducedInstance:
 
     @property
     def n(self) -> int:
+        """Vertex count of the reduced instance."""
         return self.instance.n
 
 

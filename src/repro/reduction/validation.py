@@ -41,14 +41,17 @@ class ApplicabilityReport:
 
     @property
     def diameter_ok(self) -> bool:
+        """Whether diam(G) <= len(p), the Theorem-2 depth precondition."""
         return self.diameter is not None and self.diameter <= self.k
 
     @property
     def weights_ok(self) -> bool:
+        """Whether 1 <= p_min and p_max <= 2*p_min (metricity condition)."""
         return self.pmin >= 1 and self.pmax <= 2 * self.pmin
 
     @property
     def applicable(self) -> bool:
+        """All preconditions together: connected, diameter and weights."""
         return self.connected and self.diameter_ok and self.weights_ok
 
     def reason(self) -> str:

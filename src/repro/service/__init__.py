@@ -6,10 +6,16 @@ Layer map (bottom up):
   stable cache keys for ``(Graph, LpSpec)`` requests;
 * :mod:`repro.service.cache` — thread-safe LRU of solved labelings with
   hit/miss/eviction stats and optional JSON persistence;
+* :mod:`repro.service.shard` — the same cache contract split over N
+  independently locked shards (the default for services), with
+  lock-contention stats the perf baseline gates;
 * :mod:`repro.service.batch` — deduplicating batch solver that shards cache
   misses across the :mod:`repro.parallel` process pool;
 * :mod:`repro.service.api` — the :class:`LabelingService` facade the session
-  layer and the CLI route through.
+  layer and the CLI route through;
+* :mod:`repro.service.server` — the :class:`ConcurrentLabelingService`
+  front end: bounded submission queue, worker pool, in-flight dedup,
+  backpressure and graceful shutdown.
 """
 
 from repro.service.api import LabelingService, solve_record
@@ -21,6 +27,8 @@ from repro.service.batch import (
 )
 from repro.service.cache import CachedSolve, CacheStats, ResultCache
 from repro.service.canonical import CanonicalForm, canonical_form, canonical_order
+from repro.service.server import ConcurrentLabelingService, ServerStats
+from repro.service.shard import ShardedResultCache
 
 __all__ = [
     "LabelingService",
@@ -32,6 +40,9 @@ __all__ = [
     "CachedSolve",
     "CacheStats",
     "ResultCache",
+    "ShardedResultCache",
+    "ConcurrentLabelingService",
+    "ServerStats",
     "CanonicalForm",
     "canonical_form",
     "canonical_order",

@@ -3,8 +3,18 @@
 One service instance owns one cache and one batch solver; everything that
 solves repeatedly (`LabelingSession` loops, the CLI ``batch`` subcommand,
 sweep scripts) should route through a shared service so isomorphic work is
-paid for once.  The module also hosts :func:`solve_record`, the single JSON
-serialization used by both the ``solve`` and ``batch`` CLI paths.
+paid for once.  The cache is *sharded* by default
+(:class:`~repro.service.shard.ShardedResultCache`): concurrent callers —
+the :class:`~repro.service.server.ConcurrentLabelingService` worker pool,
+or any threads sharing one service — contend per shard, not on one global
+lock.  ``cache_shards=1`` restores the single-lock
+:class:`~repro.service.cache.ResultCache`.
+
+Calls are synchronous (submit-and-wait on the caller's thread); for a
+queued, multi-worker front end with backpressure and in-flight dedup, wrap
+the service in :class:`repro.service.server.ConcurrentLabelingService`.
+The module also hosts :func:`solve_record`, the single JSON serialization
+used by both the ``solve`` and ``batch`` CLI paths.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.service.batch import (
     SolveRequest,
 )
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.shard import DEFAULT_SHARDS, ShardedResultCache
 
 
 class LabelingService:
@@ -42,8 +53,16 @@ class LabelingService:
         cache_path: str | Path | None = None,
         workers: int | None = None,
         small_n: int | None = None,
+        cache_shards: int = DEFAULT_SHARDS,
     ) -> None:
-        self.cache = ResultCache(capacity=cache_capacity, path=cache_path)
+        """Build the cache (sharded unless ``cache_shards <= 1``) and solver."""
+        self.cache = (
+            ShardedResultCache(
+                capacity=cache_capacity, shards=cache_shards, path=cache_path
+            )
+            if cache_shards > 1
+            else ResultCache(capacity=cache_capacity, path=cache_path)
+        )
         kwargs = {} if small_n is None else {"small_n": small_n}
         self.solver = BatchSolver(cache=self.cache, workers=workers, **kwargs)
 

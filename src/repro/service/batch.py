@@ -4,7 +4,10 @@ A :class:`BatchSolver` takes a stream of :class:`SolveRequest`\\ s and answers
 each one, doing the minimum amount of solving:
 
 1. every request is canonicalized (:mod:`repro.service.canonical`) and looked
-   up in the shared :class:`~repro.service.cache.ResultCache`;
+   up in the shared result cache (a sharded
+   :class:`~repro.service.shard.ShardedResultCache` by default, or the
+   single-lock :class:`~repro.service.cache.ResultCache` — the solver only
+   needs ``get``/``put``);
 2. cache misses are deduplicated — isomorphic requests collapse to one job —
    and the unique jobs are solved *in canonical coordinates* on the
    :mod:`repro.parallel` process pool (small instances are chunked to
@@ -104,6 +107,7 @@ class BatchReport:
         return self.total / self.wall_seconds
 
     def to_json(self) -> dict:
+        """JSON counters (rates rounded) for reports and CLI summaries."""
         return {
             "total": self.total,
             "unique": self.unique,
@@ -147,9 +151,10 @@ class BatchSolver:
     Parameters
     ----------
     cache:
-        Shared :class:`ResultCache`; ``None`` disables memoization entirely
-        (every request is solved — the baseline the benchmarks compare
-        against).
+        Shared result cache (:class:`ResultCache` or
+        :class:`~repro.service.shard.ShardedResultCache`); ``None``
+        disables memoization entirely (every request is solved — the
+        baseline the benchmarks compare against).
     workers:
         Process-pool width for cache misses (``None`` = library default).
     small_n / chunk:
@@ -164,6 +169,7 @@ class BatchSolver:
         small_n: int = SMALL_INSTANCE_N,
         chunk: int = SMALL_CHUNK,
     ) -> None:
+        """Bind the cache, pool width and small-instance chunking policy."""
         self.cache = cache
         self.workers = workers
         self.small_n = small_n

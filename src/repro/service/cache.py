@@ -31,6 +31,7 @@ class CachedSolve:
     exact: bool
 
     def to_json(self) -> dict:
+        """JSON form (labels as a list)."""
         return {
             "labels": list(self.labels),
             "span": self.span,
@@ -40,6 +41,7 @@ class CachedSolve:
 
     @classmethod
     def from_json(cls, data: dict) -> "CachedSolve":
+        """Parse one persisted entry, coercing value types."""
         return cls(
             labels=tuple(int(x) for x in data["labels"]),
             span=int(data["span"]),
@@ -59,6 +61,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -101,6 +104,7 @@ class ResultCache:
     def __init__(
         self, capacity: int = 4096, path: str | Path | None = None
     ) -> None:
+        """Create the cache; an existing ``path`` file warm-starts it."""
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -140,14 +144,17 @@ class ResultCache:
                 self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry (lifetime stats are preserved)."""
         with self._lock:
             self._entries.clear()
 
     def __len__(self) -> int:
+        """Number of live entries."""
         with self._lock:
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is cached (no stats or recency side effects)."""
         with self._lock:
             return key in self._entries
 

@@ -1,0 +1,491 @@
+"""Concurrent serving front-end: bounded queue, worker pool, in-flight dedup.
+
+:class:`~repro.service.api.LabelingService` is a call-and-wait facade — one
+request in, one answer out, the caller's thread does the work.  This module
+adds the serving layer the ROADMAP's traffic target needs:
+
+- **Bounded submission queue** — :meth:`ConcurrentLabelingService.submit`
+  enqueues work and returns a :class:`~concurrent.futures.Future`
+  immediately.  Past the high-water mark the submission *blocks* (default)
+  or fails fast with :class:`~repro.errors.ServiceOverloadedError`
+  (``block=False``), so a burst degrades into latency or explicit rejection
+  instead of unbounded memory growth.
+- **Worker pool** — ``workers`` threads drain the queue.  Cold solves are
+  CPU-bound Python, so when the host has more than one core the workers
+  offload them to a shared process pool (one process per worker) and the
+  pool width is the real parallelism; on a single-core host they solve
+  inline and the threads still provide queuing, coalescing and
+  backpressure.
+- **Dedup in flight** — concurrent requests with the same canonical key
+  coalesce onto one internal solve; every caller still receives its *own*
+  future whose result is translated through its own vertex order (two
+  isomorphic requests share the solve, never the coordinates).
+- **Sharded cache fast path** — submissions probe the
+  :class:`~repro.service.shard.ShardedResultCache` before queueing, so a
+  warm request costs one shard lock and never touches the queue.
+- **Graceful drain/shutdown** — :meth:`shutdown` stops intake, then either
+  drains the queue (``wait=True``) or cancels everything still queued
+  (``wait=False``); in-progress solves always run to completion so no
+  future is left forever pending.
+
+>>> from repro.graphs.generators import cycle_graph
+>>> from repro.labeling.spec import L21
+>>> with ConcurrentLabelingService(workers=2) as server:
+...     span = server.submit(cycle_graph(5), L21, engine="held_karp").result().span
+>>> span
+4
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.graphs.analysis import GraphAnalysis
+from repro.graphs.graph import Graph
+from repro.labeling.spec import LpSpec
+from repro.service.api import LabelingService
+from repro.service.batch import (
+    SolveRequest,
+    _answer,
+    _composed_key,
+    _solve_job,
+)
+from repro.service.cache import CachedSolve
+from repro.service.canonical import CanonicalForm, canonical_form
+
+#: Default submission-queue high-water mark.
+DEFAULT_QUEUE_SIZE = 64
+
+#: Sentinel that tells a worker thread to exit.
+_STOP = object()
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters for one :class:`ConcurrentLabelingService`.
+
+    ``hits`` counts submissions answered from the warm cache (either at the
+    submit-side fast path or by a worker), ``coalesced`` counts submissions
+    that attached to an identical in-flight solve, ``solved`` counts actual
+    engine runs, ``errors`` failed solves.  Once the service has drained,
+    every accepted request resolved exactly once — ``completed ==
+    submitted - rejected - cancelled`` — and, absent errors,
+    ``hits + coalesced + solved == completed``.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    hits: int = 0
+    coalesced: int = 0
+    solved: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    #: Highest queue depth observed at submission time.
+    high_water: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accepted submissions answered **without** a solve.
+
+        Counts both cache hits and in-flight coalescing — from the
+        client's viewpoint the two are the same thing (no engine ran for
+        this request) — so the rate is a deterministic function of the
+        request stream, not of scheduling luck.
+        """
+        accepted = self.submitted - self.rejected
+        return (self.hits + self.coalesced) / accepted if accepted else 0.0
+
+    def to_json(self) -> dict:
+        """JSON counters, the shape the perf trajectory records."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "hits": self.hits,
+            "coalesced": self.coalesced,
+            "solved": self.solved,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "high_water": self.high_water,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Job:
+    """One queued unit of work: solve ``request`` and publish under ``key``."""
+
+    key: str
+    request: SolveRequest
+    form: CanonicalForm
+    #: Internal future resolving to ``(CachedSolve, cached, seconds)``;
+    #: every public future for this key chains off it.
+    internal: Future = field(default_factory=Future)
+
+
+class ConcurrentLabelingService:
+    """Thread-pool serving front-end over the sharded caching service.
+
+    Parameters
+    ----------
+    service:
+        The underlying :class:`LabelingService` (owns the cache and the
+        solve policy).  Built with a sharded cache when omitted.
+    workers:
+        Worker-thread count.  Also the process-pool width when cold solves
+        are offloaded (see ``offload``).
+    queue_size:
+        Submission-queue high-water mark (backpressure threshold).
+    block:
+        Default backpressure behaviour for :meth:`submit`: ``True`` blocks
+        until queue space frees, ``False`` raises
+        :class:`ServiceOverloadedError`.  Overridable per call.
+    offload:
+        ``True`` ships cold solves to a process pool (real parallelism for
+        CPU-bound engines), ``False`` solves inline on the worker thread.
+        ``None`` (default) auto-detects: offload only when ``workers > 1``
+        *and* the host has more than one CPU — on a single core the pool
+        would add pickling overhead and parallelize nothing.
+    """
+
+    def __init__(
+        self,
+        service: LabelingService | None = None,
+        workers: int = 4,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        block: bool = True,
+        offload: bool | None = None,
+        cache_capacity: int = 4096,
+        cache_shards: int | None = None,
+    ) -> None:
+        """Build the queue, cache-backed service, and start the workers."""
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        if service is None:
+            kwargs = {} if cache_shards is None else {"cache_shards": cache_shards}
+            service = LabelingService(cache_capacity=cache_capacity, **kwargs)
+        self.service = service
+        self.workers = workers
+        self.block = block
+        self.stats = ServerStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        #: Signalled whenever an owner submission finishes its queue.put;
+        #: shutdown waits on it so a put racing the close cannot land a job
+        #: after the final cancellation sweep (see :meth:`shutdown`).
+        self._settled = threading.Condition(self._lock)
+        self._submitting = 0
+        self._closed = False
+        if offload is None:
+            offload = workers > 1 and (os.cpu_count() or 1) > 1
+        self._pool = (
+            ProcessPoolExecutor(max_workers=workers) if offload else None
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"labeling-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self):
+        """The underlying (sharded) result cache."""
+        return self.service.cache
+
+    def queue_depth(self) -> int:
+        """Requests currently queued (approximate, unlocked read)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: Graph,
+        spec: LpSpec,
+        engine: str = "auto",
+        tag: str | None = None,
+        analysis: GraphAnalysis | None = None,
+        block: bool | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one request; returns a future of its ``ServiceResult``.
+
+        The canonical key is derived on the calling thread (``analysis``
+        forwards a pre-computed oracle exactly like
+        :meth:`LabelingService.submit`); everything after that happens on
+        the worker pool.  Identical in-flight requests coalesce onto one
+        solve, but each caller's future resolves in its *own* vertex
+        order.
+
+        Backpressure: with ``block`` (default: the constructor setting) a
+        full queue blocks up to ``timeout`` seconds, then rejects;
+        ``block=False`` rejects immediately with
+        :class:`ServiceOverloadedError`.
+        """
+        request = SolveRequest(
+            graph=graph, spec=spec, engine=engine, tag=tag, analysis=analysis
+        )
+        form = canonical_form(graph, spec, analysis=analysis)
+        key = _composed_key(form, request)
+        block = self.block if block is None else block
+
+        # Fast path: a warm cache answers without touching the queue.  The
+        # probe happens outside the service lock on purpose — it costs one
+        # shard lock, which is the scalable part of the design.
+        entry = self.cache.get(key)
+        if entry is not None:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError(
+                        "service is shut down; no new submissions"
+                    )
+                self.stats.submitted += 1
+                self.stats.hits += 1
+                self.stats.completed += 1
+            done: Future = Future()
+            done.set_result(_answer(request, form, key, entry, cached=True))
+            return done
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is shut down; no new submissions"
+                )
+            self.stats.submitted += 1
+            depth = self._queue.qsize()
+            if depth > self.stats.high_water:
+                self.stats.high_water = depth
+            internal = self._inflight.get(key)
+            owner = internal is None
+            if owner:
+                job = _Job(key=key, request=request, form=form)
+                internal = job.internal
+                self._inflight[key] = internal
+                self._submitting += 1
+            else:
+                self.stats.coalesced += 1
+
+        if owner:
+            try:
+                self._queue.put(job, block=block, timeout=timeout)
+            except queue.Full:
+                overloaded = ServiceOverloadedError(
+                    f"submission queue at high-water mark "
+                    f"({self._queue.maxsize}); request rejected"
+                )
+                with self._lock:
+                    self._inflight.pop(key, None)
+                    self.stats.rejected += 1
+                # followers that coalesced in the meantime must observe the
+                # rejection, not an indistinguishable cancellation; the
+                # owner itself gets the synchronous raise (and no future)
+                internal.set_exception(overloaded)
+                raise overloaded from None
+            finally:
+                with self._settled:
+                    self._submitting -= 1
+                    self._settled.notify_all()
+        public: Future = Future()
+        internal.add_done_callback(
+            lambda f: self._deliver(
+                f, public, request, form, key, follower=not owner
+            )
+        )
+        return public
+
+    def solve(
+        self,
+        graph: Graph,
+        spec: LpSpec,
+        engine: str = "auto",
+        tag: str | None = None,
+        analysis: GraphAnalysis | None = None,
+    ):
+        """Blocking convenience: ``submit(...).result()``."""
+        return self.submit(
+            graph, spec, engine=engine, tag=tag, analysis=analysis
+        ).result()
+
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        internal: Future,
+        public: Future,
+        request: SolveRequest,
+        form: CanonicalForm,
+        key: str,
+        follower: bool = False,
+    ) -> None:
+        """Translate the internal outcome into one caller's public future.
+
+        A ``follower`` (a request that coalesced onto another's in-flight
+        solve) reports ``cached=True`` with zero seconds — the same
+        accounting :class:`~repro.service.batch.BatchSolver` uses for
+        in-batch duplicates: no engine ran *for this request*.
+        """
+        try:
+            entry, cached, seconds = internal.result()
+            if follower:
+                cached, seconds = True, 0.0
+        except CancelledError:
+            public.cancel()
+            return
+        except BaseException as exc:
+            if not public.set_running_or_notify_cancel():
+                return
+            public.set_exception(exc)
+            with self._lock:
+                self.stats.completed += 1
+            return
+        if not public.set_running_or_notify_cancel():
+            return  # caller cancelled while we solved; nothing to deliver
+        public.set_result(
+            _answer(request, form, key, entry, cached=cached, seconds=seconds)
+        )
+        with self._lock:
+            self.stats.completed += 1
+
+    def _worker(self) -> None:
+        """Worker loop: drain jobs until the stop sentinel arrives."""
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._process(item)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, job: _Job) -> None:
+        """Answer one queued job: re-probe the cache, else solve and publish."""
+        # Re-probe: the entry may have been cached between this job's
+        # submission and now (an identical earlier job finished).  Without
+        # this check the submit-probe/finish race could double-solve.
+        entry = self.cache.peek(job.key)
+        if entry is not None:
+            self._finish(job, entry, cached=True, seconds=0.0)
+            return
+        plain = (
+            job.key,
+            job.form.n,
+            job.form.edges,
+            job.request.spec.p,
+            job.request.engine,
+        )
+        try:
+            if self._pool is not None:
+                _key, labels, span, engine, exact, seconds = self._pool.submit(
+                    _solve_job, plain
+                ).result()
+            else:
+                _key, labels, span, engine, exact, seconds = (
+                    self.service.solver._solve_inline(
+                        plain, job.form, job.request
+                    )
+                )
+        except BaseException as exc:  # engine failures must reach the waiters
+            with self._lock:
+                self._inflight.pop(job.key, None)
+                self.stats.errors += 1
+            job.internal.set_exception(exc)
+            return
+        entry = CachedSolve(labels=labels, span=span, engine=engine, exact=exact)
+        self.cache.put(job.key, entry)
+        self._finish(job, entry, cached=False, seconds=seconds)
+
+    def _finish(
+        self, job: _Job, entry: CachedSolve, cached: bool, seconds: float
+    ) -> None:
+        """Publish a solved/cached entry and retire the in-flight record."""
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            if cached:
+                self.stats.hits += 1
+            else:
+                self.stats.solved += 1
+        job.internal.set_result((entry, cached, seconds))
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every queued submission has been answered.
+
+        Intake stays open — this is a checkpoint, not a shutdown.
+        """
+        self._queue.join()
+
+    def _cancel_queued(self) -> None:
+        """Drain the queue, cancelling every job still in it."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                if item is _STOP:
+                    continue
+                with self._lock:
+                    self._inflight.pop(item.key, None)
+                    self.stats.cancelled += 1
+                item.internal.cancel()
+            finally:
+                self._queue.task_done()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop intake and retire the workers.
+
+        ``wait=True`` drains the queue first (every accepted future
+        resolves); ``wait=False`` cancels everything still queued — their
+        futures (and any coalesced onto them) end :class:`CancelledError`
+        — while the solve currently running on each worker completes.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed and not self._threads:
+                return
+            self._closed = True
+        if not wait:
+            self._cancel_queued()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for t in self._threads:
+            t.join()
+        self._threads = []
+        # A submission that passed the closed check just before it flipped
+        # may still be inside queue.put; alternate cancelling what landed
+        # (which also frees queue space a blocked put may be waiting for)
+        # with waiting for the stragglers to settle — without this, a
+        # racing submit's future could hang forever.
+        while True:
+            self._cancel_queued()
+            with self._settled:
+                if not self._submitting:
+                    break
+                self._settled.wait(timeout=0.05)
+        self._cancel_queued()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ConcurrentLabelingService":
+        """Context manager: the running service itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Graceful shutdown (drain, then stop the workers)."""
+        self.shutdown(wait=True)

@@ -1,0 +1,273 @@
+"""Sharded result cache: N independently locked LRU shards.
+
+Under concurrent serving the single :class:`~repro.service.cache.ResultCache`
+lock becomes the contention point — every worker's lookup and every client's
+fast-path probe serialize on one mutex even though they touch different
+keys.  :class:`ShardedResultCache` splits the key space over ``shards``
+independent :class:`~repro.service.cache.ResultCache` instances (stable
+CRC32 of the key picks the shard), so two operations contend only when they
+land on the same shard: with shards ≫ worker threads the probability is
+small and the expected wait is a fraction of the single-lock design's.
+
+Each shard's lock additionally *counts contended acquisitions* (an acquire
+that found the lock held), so the serving layer can report a
+``shard_lock_wait`` rate — the perf baseline gates it: sharding the cache
+must never become a regression in disguise.
+
+The aggregate keeps the single cache's interface (``get``/``peek``/``put``/
+``stats``/``save``/``load``), and persistence uses the *same JSON format*,
+so a file written by a plain ``ResultCache`` warms a sharded one and vice
+versa.
+
+>>> from repro.service.cache import CachedSolve
+>>> c = ShardedResultCache(capacity=64, shards=4)
+>>> c.put("a", CachedSolve((0, 2), 2, "lk", False))
+>>> c.get("a").span
+2
+>>> c.get("missing") is None
+True
+>>> (c.stats.hits, c.stats.misses)
+(1, 1)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import zlib
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.service.cache import (
+    _PERSIST_VERSION,
+    CachedSolve,
+    CacheStats,
+    ResultCache,
+)
+
+#: Default shard count.  Sixteen shards keep the expected contention rate
+#: under 1/16 per colliding pair while the per-shard overhead (a lock and an
+#: OrderedDict) stays trivial.
+DEFAULT_SHARDS = 16
+
+
+class _ContentionLock:
+    """A mutex that counts total and contended acquisitions.
+
+    Drop-in for ``threading.Lock`` as a context manager.  Both counters
+    are incremented *while holding the lock*, so ``contended <=
+    acquisitions`` exactly and any rate derived from them stays in
+    ``[0, 1]``; reading them without the lock is a benign stale read (they
+    are statistics).
+    """
+
+    __slots__ = ("_lock", "acquisitions", "contended")
+
+    def __init__(self) -> None:
+        """A fresh unlocked mutex with zeroed counters."""
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+        self.contended = 0
+
+    def __enter__(self) -> "_ContentionLock":
+        """Acquire, counting the acquisition as contended if it waited."""
+        if not self._lock.acquire(blocking=False):
+            self._lock.acquire()
+            self.contended += 1
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Release the mutex."""
+        self._lock.release()
+
+    def locked(self) -> bool:
+        """Whether the underlying mutex is currently held."""
+        return self._lock.locked()
+
+
+class _CacheShard(ResultCache):
+    """One shard: a plain :class:`ResultCache` behind a counting lock."""
+
+    def __init__(self, capacity: int) -> None:
+        """A path-less ResultCache guarded by a counting lock."""
+        super().__init__(capacity=capacity, path=None)
+        self._lock = _ContentionLock()  # replaces the plain mutex
+
+    @property
+    def lock_contentions(self) -> int:
+        """How many acquisitions of this shard's lock found it held."""
+        return self._lock.contended
+
+
+class ShardedResultCache:
+    """LRU result cache split over independently locked shards.
+
+    Parameters
+    ----------
+    capacity:
+        Total entry budget, divided evenly across shards (each shard
+        evicts independently, so the instantaneous total can sit slightly
+        under ``capacity`` when the key distribution is skewed).
+    shards:
+        Number of independent locks/LRU maps.  ``1`` degenerates to the
+        single-lock design (useful for A/B measurements).
+    path:
+        Optional JSON persistence path, same format and semantics as
+        :class:`~repro.service.cache.ResultCache` (load on construction
+        when the file exists, explicit :meth:`save`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        shards: int = DEFAULT_SHARDS,
+        path: str | Path | None = None,
+    ) -> None:
+        """Split ``capacity`` across ``shards`` independent LRU caches."""
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        if shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        shards = min(shards, capacity)  # a shard needs room for >= 1 entry
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        per_shard = -(-capacity // shards)  # ceil division
+        self._shards = tuple(_CacheShard(per_shard) for _ in range(shards))
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """The number of independent shards."""
+        return len(self._shards)
+
+    def _shard_for(self, key: str) -> _CacheShard:
+        """Stable key→shard routing (CRC32, process-independent)."""
+        return self._shards[zlib.crc32(key.encode("utf-8")) % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CachedSolve | None:
+        """Shard-local lookup, counting a hit or miss and refreshing recency."""
+        return self._shard_for(key).get(key)
+
+    def peek(self, key: str) -> CachedSolve | None:
+        """Shard-local lookup without touching stats or recency."""
+        return self._shard_for(key).peek(key)
+
+    def put(self, key: str, value: CachedSolve) -> None:
+        """Shard-local insert; eviction pressure never crosses shards."""
+        self._shard_for(key).put(key, value)
+
+    def clear(self) -> None:
+        """Empty every shard (stats are lifetime counters and survive)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def __len__(self) -> int:
+        """Live entries summed across shards."""
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is cached (single-shard check, no side effects)."""
+        return key in self._shard_for(key)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters summed over every shard's lifetime stats."""
+        total = CacheStats()
+        for shard in self._shards:
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+            total.evictions += shard.stats.evictions
+            total.puts += shard.stats.puts
+        return total
+
+    def shard_stats(self) -> list[CacheStats]:
+        """Per-shard lifetime counters, in shard order."""
+        return [s.stats for s in self._shards]
+
+    @property
+    def lock_contentions(self) -> int:
+        """Total contended shard-lock acquisitions across all shards."""
+        return sum(s.lock_contentions for s in self._shards)
+
+    @property
+    def contention_rate(self) -> float:
+        """Contended acquisitions per lock acquisition (the gated metric).
+
+        Numerator and denominator come from the same per-shard lock
+        counters (every operation — ``get``/``peek``/``put``/``len``/
+        persistence — counts), so the rate is exact, stays in ``[0, 1]``
+        by construction, and is comparable across runs of different
+        lengths.  The perf baseline gates this as ``shard_lock_wait``: it
+        may never rise.
+        """
+        acquisitions = sum(s._lock.acquisitions for s in self._shards)
+        return self.lock_contentions / acquisitions if acquisitions else 0.0
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Persist all shards as one JSON file (atomic rename).
+
+        The payload is byte-compatible with
+        :meth:`repro.service.cache.ResultCache.save`, so sharded and
+        single-lock caches can warm-start from each other's files.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ReproError("no persistence path configured for this cache")
+        entries: dict[str, dict] = {}
+        for shard in self._shards:
+            with shard._lock:
+                entries.update(
+                    (k, v.to_json()) for k, v in shard._entries.items()
+                )
+        payload = {"version": _PERSIST_VERSION, "entries": entries}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries from a JSON file, routing each to its shard.
+
+        Accepts files written by either cache flavour; returns how many
+        entries the file held (unknown versions load zero, exactly like
+        :meth:`ResultCache.load`).
+        """
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"unreadable cache file {source}: {exc}") from exc
+        if payload.get("version") != _PERSIST_VERSION:
+            return 0
+        entries = payload.get("entries", {})
+        try:
+            decoded = {
+                str(k): CachedSolve.from_json(d) for k, d in entries.items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed cache file {source}: {exc!r}") from exc
+        for k, entry in decoded.items():
+            shard = self._shard_for(k)
+            with shard._lock:
+                shard._entries[k] = entry
+                while len(shard._entries) > shard.capacity:
+                    shard._entries.popitem(last=False)
+                    shard.stats.evictions += 1
+        return len(entries)

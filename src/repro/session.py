@@ -6,13 +6,16 @@ raised.  :class:`LabelingSession` wraps the solver with mutate-and-resolve
 semantics and keeps the assignment history, so the examples (and downstream
 users) can model a living network instead of a frozen graph.
 
-Re-solving goes through a :class:`repro.service.LabelingService` when one
-is supplied — mutate-and-resolve loops that revisit a topology (undo, A/B
-probing, oscillating links) then get warm cache hits — and falls back to a
-from-scratch :func:`solve_labeling` otherwise.  The session's own value is
-bookkeeping: it re-validates after every mutation, records span
-trajectories, and reports which vertices' frequencies changed between
-assignments.
+Re-solving goes through a shared service when one is supplied — either the
+synchronous :class:`repro.service.LabelingService` or the queued
+:class:`repro.service.server.ConcurrentLabelingService` (the session
+detects the returned future and waits on it) — so mutate-and-resolve loops
+that revisit a topology (undo, A/B probing, oscillating links) get warm
+hits from the shared sharded cache, and many sessions can point at one
+serving front end.  Without a service it falls back to a from-scratch
+:func:`solve_labeling`.  The session's own value is bookkeeping: it
+re-validates after every mutation, records span trajectories, and reports
+which vertices' frequencies changed between assignments.
 
 Re-solves take the **dynamic fast path**: a session-held
 :class:`~repro.dynamic.DeltaEngine` repairs the previous version's
@@ -25,6 +28,7 @@ runs.
 
 from __future__ import annotations
 
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -39,6 +43,7 @@ from repro.reduction.validation import analyze
 if TYPE_CHECKING:
     from repro.service.api import LabelingService
     from repro.service.batch import ServiceResult
+    from repro.service.server import ConcurrentLabelingService
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,7 @@ class AssignmentDelta:
 
     @property
     def span_change(self) -> int:
+        """Signed span delta caused by the mutation."""
         return self.span_after - self.span_before
 
 
@@ -93,8 +99,9 @@ class LabelingSession:
         graph: Graph,
         spec: LpSpec,
         engine: str = "auto",
-        service: "LabelingService | None" = None,
+        service: "LabelingService | ConcurrentLabelingService | None" = None,
     ):
+        """Copy the graph, bind spec/engine/service, and solve once."""
         self._graph = graph.copy()
         self.spec = spec
         self.engine = engine
@@ -121,14 +128,17 @@ class LabelingSession:
 
     @property
     def labeling(self) -> Labeling:
+        """The current assignment."""
         return self.current.labeling
 
     @property
     def span(self) -> int:
+        """The current assignment's span."""
         return self.current.span
 
     @property
     def history(self) -> "list[SolveResult | ServiceResult]":
+        """Every solve so far (index 0 = initial), as a fresh list."""
         return list(self._history)
 
     def span_trajectory(self) -> list[int]:
@@ -167,6 +177,7 @@ class LabelingSession:
 
     # ------------------------------------------------------------------
     def _commit(self, trial: Graph) -> AssignmentDelta:
+        """Validate, adopt and re-solve a mutated trial graph (or roll back)."""
         self._repair_oracle(trial)
         report = analyze(trial, self.spec)
         if not report.applicable:
@@ -212,12 +223,18 @@ class LabelingSession:
         self._engine.attach(trial)
 
     def _resolve(self, analysis=None) -> None:
+        """Solve the current graph via the service (or inline) and record it."""
         if self.service is not None:
             # forward the repaired oracle explicitly: the canonical cache
             # key is derived from the same matrix the delta engine repaired
             result = self.service.submit(
                 self._graph, self.spec, engine=self.engine, analysis=analysis
             )
+            if isinstance(result, Future):
+                # a ConcurrentLabelingService answers with a future; the
+                # session is synchronous by contract, so wait here (the
+                # graph must not mutate while a worker may still read it)
+                result = result.result()
         else:
             result = solve_labeling(
                 self._graph, self.spec, engine=self.engine, analysis=analysis

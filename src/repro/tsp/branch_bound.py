@@ -66,6 +66,7 @@ def branch_and_bound_path(instance: TSPInstance, max_n: int = MAX_BNB_N) -> HamP
         return total
 
     def dfs(depth: int, cur: int, length: float) -> None:
+        """Extend the partial path at ``cur``, pruning on the MST bound."""
         nonlocal best_len, best_order
         if depth == n:
             if length < best_len - 1e-12:

@@ -69,6 +69,7 @@ def greedy_edge_path(instance: TSPInstance) -> HamPath:
     parent = list(range(n))
 
     def find(x: int) -> int:
+        """Union-find root with path halving."""
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
@@ -114,6 +115,7 @@ def farthest_insertion_cycle(instance: TSPInstance) -> Tour:
 
 
 def _insertion_cycle(instance: TSPInstance, farthest: bool) -> Tour:
+    """Generic insertion heuristic (nearest or farthest selection)."""
     n = instance.n
     if n == 0:
         return Tour((), 0.0)

@@ -19,6 +19,7 @@ class Multigraph:
     """A tiny edge-multiset multigraph on integer vertices (for Euler walks)."""
 
     def __init__(self, n: int) -> None:
+        """Empty multigraph on ``n`` vertices."""
         self.n = n
         self.adj: dict[int, list[list]] = defaultdict(list)  # v -> [edge records]
         self._edge_id = 0
@@ -32,6 +33,7 @@ class Multigraph:
 
     @property
     def m(self) -> int:
+        """Number of (multi-)edges added so far."""
         return self._edge_id
 
     def degree(self, v: int) -> int:
@@ -73,6 +75,7 @@ def eulerian_trail(mg: Multigraph, start: int | None = None) -> list[int]:
 
 
 def _hierholzer(mg: Multigraph, start: int) -> list[int]:
+    """Hierholzer's algorithm: an Eulerian walk from ``start``."""
     if mg.m == 0:
         return [start]
     # iterative Hierholzer with per-vertex edge cursors

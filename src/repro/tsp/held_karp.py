@@ -24,6 +24,7 @@ MAX_EXACT_N = 20
 
 
 def _check_size(n: int, max_n: int) -> None:
+    """Refuse instances beyond the DP's practical size limit."""
     if n > max_n:
         raise ReproError(
             f"Held-Karp needs 2^n*n memory; n={n} exceeds the configured cap "

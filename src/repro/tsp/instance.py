@@ -27,6 +27,7 @@ class TSPInstance:
     __slots__ = ("_w",)
 
     def __init__(self, weights: np.ndarray) -> None:
+        """Copy and validate a square symmetric weight matrix."""
         w = np.array(weights, dtype=np.float64, copy=True)
         if w.ndim != 2 or w.shape[0] != w.shape[1]:
             raise ReproError(f"weight matrix must be square, got shape {w.shape}")
@@ -42,6 +43,7 @@ class TSPInstance:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        """Number of cities."""
         return self._w.shape[0]
 
     @property
@@ -120,4 +122,5 @@ class TSPInstance:
         return cls(w)
 
     def __repr__(self) -> str:
+        """Compact ``TSPInstance(n=...)`` form."""
         return f"TSPInstance(n={self.n})"

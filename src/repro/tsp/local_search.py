@@ -117,6 +117,7 @@ def _first_or_opt_move(w: np.ndarray, order: list[int], L: int) -> list[int] | N
     n = len(order)
 
     def edge(u: int, v: int) -> float:
+        """Weight of the tour edge between positions ``u`` and ``v``."""
         return float(w[order[u], order[v]])
 
     for i in range(n - L + 1):

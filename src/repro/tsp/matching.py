@@ -131,6 +131,7 @@ def _extract_matching(
 
 
 def _exact_perfect(weights: np.ndarray, vertices: list[int]) -> list[tuple[int, int]]:
+    """Optimal perfect matching by bitmask DP over the vertex set."""
     dp = _perfect_dp(weights, vertices)
     full = (1 << len(vertices)) - 1
     if not np.isfinite(dp[full]):
@@ -141,6 +142,7 @@ def _exact_perfect(weights: np.ndarray, vertices: list[int]) -> list[tuple[int, 
 def _exact_near_perfect(
     weights: np.ndarray, vertices: list[int]
 ) -> tuple[list[tuple[int, int]], tuple[int, int]]:
+    """Optimal near-perfect matching (odd set: best vertex left out)."""
     s = len(vertices)
     dp = _perfect_dp(weights, vertices)
     full = (1 << s) - 1
@@ -161,6 +163,7 @@ def _exact_near_perfect(
 # heuristic: greedy + 2-exchange
 # ---------------------------------------------------------------------------
 def _greedy_pairs(weights: np.ndarray, vertices: list[int]) -> list[tuple[int, int]]:
+    """Greedy matching: repeatedly pair the globally cheapest edge."""
     pool = set(vertices)
     pairs: list[tuple[int, int]] = []
     cand = sorted(
@@ -196,12 +199,14 @@ def _two_exchange(weights: np.ndarray, pairs: list[tuple[int, int]]) -> list[tup
 
 
 def _heuristic_perfect(weights: np.ndarray, vertices: list[int]) -> list[tuple[int, int]]:
+    """Greedy matching improved by pairwise two-exchange."""
     return _two_exchange(weights, _greedy_pairs(weights, vertices))
 
 
 def _heuristic_near_perfect(
     weights: np.ndarray, vertices: list[int]
 ) -> tuple[list[tuple[int, int]], tuple[int, int]]:
+    """Heuristic near-perfect matching (tries each leave-out vertex)."""
     pairs = _heuristic_perfect(weights, vertices)
     # expose the heaviest pair's endpoints: they become free path endpoints
     heavy = max(range(len(pairs)), key=lambda i: weights[pairs[i][0], pairs[i][1]])

@@ -34,18 +34,22 @@ PathEngine = Callable[[TSPInstance], HamPath]
 
 
 def _nn(inst: TSPInstance) -> HamPath:
+    """Engine: nearest-neighbour construction."""
     return nearest_neighbor_path(inst, 0)
 
 
 def _nn_two_opt(inst: TSPInstance) -> HamPath:
+    """Engine: nearest-neighbour + 2-opt polish."""
     return two_opt_path(inst, nearest_neighbor_path(inst, 0))
 
 
 def _greedy_or_opt(inst: TSPInstance) -> HamPath:
+    """Engine: greedy-edge construction + Or-opt moves."""
     return or_opt_path(inst, greedy_edge_path(inst))
 
 
 def _greedy_three_opt(inst: TSPInstance) -> HamPath:
+    """Engine: greedy-edge construction + 3-opt polish."""
     return three_opt_path(inst, greedy_edge_path(inst))
 
 
@@ -55,18 +59,22 @@ def _christofides_path(inst: TSPInstance) -> HamPath:
 
 
 def _farthest_insertion_path(inst: TSPInstance) -> HamPath:
+    """Engine: farthest-insertion cycle opened into a path."""
     return cycle_to_path(inst, farthest_insertion_cycle(inst))
 
 
 def _anneal(inst: TSPInstance) -> HamPath:
+    """Engine: seeded simulated annealing."""
     return simulated_annealing_path(inst, seed=0)
 
 
 def _lk(inst: TSPInstance) -> HamPath:
+    """Engine: LK-style iterated local search (20 kicks)."""
     return lk_style_path(inst, kicks=20, seed=0)
 
 
 def _lk_long(inst: TSPInstance) -> HamPath:
+    """Engine: LK-style iterated local search (100 kicks)."""
     return lk_style_path(inst, kicks=100, seed=0)
 
 

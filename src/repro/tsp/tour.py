@@ -10,6 +10,7 @@ from repro.tsp.instance import TSPInstance
 
 
 def _check_permutation(order: Sequence[int], n: int) -> tuple[int, ...]:
+    """Coerce and verify ``order`` is a permutation of range(n)."""
     t = tuple(int(v) for v in order)
     if sorted(t) != list(range(n)):
         raise SolverError(f"order {t!r} is not a permutation of 0..{n - 1}")
@@ -25,6 +26,7 @@ class HamPath:
 
     @classmethod
     def from_order(cls, instance: TSPInstance, order: Sequence[int]) -> "HamPath":
+        """Build a path from an order, computing its length on ``instance``."""
         t = _check_permutation(order, instance.n)
         return cls(t, instance.path_length(t))
 
@@ -34,14 +36,17 @@ class HamPath:
 
     @property
     def endpoints(self) -> tuple[int, int]:
+        """First and last vertex of the path."""
         if not self.order:
             raise SolverError("empty path has no endpoints")
         return self.order[0], self.order[-1]
 
     def __iter__(self) -> Iterator[int]:
+        """Iterate the path's vertex order."""
         return iter(self.order)
 
     def __len__(self) -> int:
+        """Number of vertices on the path."""
         return len(self.order)
 
 
@@ -54,6 +59,7 @@ class Tour:
 
     @classmethod
     def from_order(cls, instance: TSPInstance, order: Sequence[int]) -> "Tour":
+        """Build a tour from an order, computing its cycle length."""
         t = _check_permutation(order, instance.n)
         return cls(t, instance.cycle_length(t))
 
@@ -72,7 +78,9 @@ class Tour:
         return HamPath.from_order(instance, order)
 
     def __iter__(self) -> Iterator[int]:
+        """Iterate the tour's vertex order."""
         return iter(self.order)
 
     def __len__(self) -> int:
+        """Number of vertices on the tour."""
         return len(self.order)

@@ -148,6 +148,7 @@ def read_tour(source: TextIO | str | Path) -> list[int]:
 
 
 def _open(target: TextIO | str | Path, mode: str) -> tuple[bool, TextIO]:
+    """Return ``(owns_handle, file)`` for a path or passthrough stream."""
     if isinstance(target, (str, Path)):
         return True, open(target, mode, encoding="utf-8")
     return False, target

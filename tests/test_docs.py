@@ -1,0 +1,81 @@
+"""Executable-documentation gate (the CI ``docs`` job).
+
+Two guarantees:
+
+1. **Every fenced ``python`` snippet in ``README.md`` and ``docs/*.md``
+   runs.**  Snippets in one file share a namespace in document order (a
+   reader following the page top to bottom sees working code); doctest
+   blocks (``>>>``) additionally check their printed output.  Fences
+   tagged ``console``/``bash``/``text`` are prose, not code, and are not
+   executed.
+2. **``docs/cli.md`` matches the live argparse tree** — it is the
+   committed output of :func:`repro.cli.render_reference` (``make docs``
+   regenerates it), so the CLI reference cannot drift from the parser.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents whose python snippets must execute.
+DOCUMENTS = sorted(
+    p.relative_to(ROOT)
+    for p in [ROOT / "README.md", *(ROOT / "docs").glob("*.md")]
+    if p.exists()
+)
+
+_FENCE = re.compile(r"```python[^\n]*\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    """Every fenced ``python`` block of one markdown file, in order."""
+    return [m.group(1) for m in _FENCE.finditer(path.read_text(encoding="utf-8"))]
+
+
+def test_documents_exist():
+    """The docs suite the README promises is actually on disk."""
+    names = {str(d) for d in DOCUMENTS}
+    assert "README.md" in names
+    for required in ("docs/guide.md", "docs/cli.md", "docs/perf.md"):
+        assert required in names, f"{required} is missing"
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=str)
+def test_snippets_execute(document):
+    """Run the file's snippets top to bottom in one shared namespace."""
+    blocks = python_blocks(ROOT / document)
+    globs: dict = {"__name__": f"doc:{document}"}
+    runner = doctest.DocTestRunner(verbose=False)
+    parser = doctest.DocTestParser()
+    for idx, block in enumerate(blocks):
+        name = f"{document}[{idx}]"
+        if ">>>" in block:
+            test = parser.get_doctest(block, globs, name, str(document), idx)
+            runner.run(test, clear_globs=False)
+            assert runner.failures == 0, f"doctest failure in {name}"
+            globs = test.globs  # carry state into the next block
+        else:
+            exec(compile(block, name, "exec"), globs)
+
+
+def test_cli_reference_is_current():
+    """docs/cli.md must be render_reference()'s exact output."""
+    from repro.cli import render_reference
+
+    committed = (ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+    assert committed == render_reference(), (
+        "docs/cli.md is stale; regenerate it with `make docs`"
+    )
+
+
+def test_architecture_covers_new_layers():
+    """The layer map documents the shard/server serving subsystem."""
+    text = (ROOT / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    for needle in ("shard.py", "server.py", "Concurrency model"):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"

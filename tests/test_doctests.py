@@ -36,6 +36,8 @@ MODULES = [
     "repro.partition.l1_labeling",
     "repro.service.canonical",
     "repro.service.cache",
+    "repro.service.shard",
+    "repro.service.server",
     "repro.service.api",
     "repro.session",
     "repro.dynamic.engine",

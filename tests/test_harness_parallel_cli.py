@@ -193,6 +193,31 @@ class TestCli:
         assert all(r["cached"] for r in records)
         assert sorted(r["tag"] for r in records) == ["g0.edges", "g1.edges"]
 
+    def test_batch_stream_serving_mode(self, capfd):
+        import json
+        block = "3 3\n0 1\n1 2\n0 2\n"
+        code, out = self.run_cli(
+            ["batch", "-", "-p", "2,1", "--stream", "--workers", "2",
+             "--engine", "held_karp"],
+            stdin_text=block * 3,
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(records) == 3
+        assert all(r["span"] == 4 for r in records)
+        assert sorted(r["tag"] for r in records) == [
+            "stdin[0]", "stdin[1]", "stdin[2]"
+        ]
+        summary = json.loads(capfd.readouterr().err.strip().splitlines()[-1])
+        assert summary["server"]["submitted"] == 3
+        # identical blocks: exactly one engine run, rest hit or coalesce
+        assert summary["server"]["solved"] == 1
+        assert "shard_lock_wait" in summary
+
+    def test_batch_stream_requires_stdin_source(self, tmp_path):
+        code, _ = self.run_cli(["batch", str(tmp_path), "--stream"])
+        assert code == 2  # ReproError -> one-line error, exit 2
+
     def test_batch_rejects_bad_source(self):
         with pytest.raises(SystemExit):
             self.run_cli(["batch", "/definitely/not/a/dir"])

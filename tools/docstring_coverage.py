@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate, mirroring ``interrogate --fail-under N``.
+
+The CI image installs the real `interrogate` (requirements-dev.txt) and
+``make lint`` prefers it; this script is the dependency-free fallback so
+the gate also runs on machines without it.  Counting rules follow
+interrogate's defaults: every module, class, and (sync or async) function
+— including nested functions and all methods — must carry a docstring.
+
+Usage::
+
+    python tools/docstring_coverage.py [--fail-under 85] [-v] PATH [PATH ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+#: AST node types that must carry a docstring.
+_DOCUMENTABLE = (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_python_files(paths: list[str]):
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise SystemExit(f"not a python file or directory: {raw}")
+
+
+def file_coverage(path: Path) -> tuple[int, int, list[str]]:
+    """``(documented, total, missing)`` for one file.
+
+    ``missing`` lists the undocumented definitions as ``name:line``
+    (``<module>`` for a missing module docstring).
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    documented = total = 0
+    missing: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, _DOCUMENTABLE):
+            continue
+        total += 1
+        if ast.get_docstring(node) is not None:
+            documented += 1
+        elif isinstance(node, ast.Module):
+            missing.append("<module>:1")
+        else:
+            missing.append(f"{node.name}:{node.lineno}")
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="+", help="files or directories to scan")
+    ap.add_argument(
+        "--fail-under", type=float, default=85.0, metavar="PCT",
+        help="minimum coverage percentage (default 85)",
+    )
+    ap.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list every undocumented definition",
+    )
+    args = ap.parse_args(argv)
+
+    documented = total = 0
+    for path in iter_python_files(args.paths):
+        doc, tot, missing = file_coverage(path)
+        documented += doc
+        total += tot
+        if args.verbose and missing:
+            for item in missing:
+                print(f"{path}:{item} missing docstring")
+    pct = 100.0 * documented / total if total else 100.0
+    verdict = "PASSED" if pct >= args.fail_under else "FAILED"
+    print(
+        f"docstring coverage: {pct:.1f}% ({documented}/{total} definitions), "
+        f"required {args.fail_under:.1f}% — {verdict}"
+    )
+    return 0 if pct >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

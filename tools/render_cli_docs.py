@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Regenerate ``docs/cli.md`` from the live argparse tree (``make docs``).
+
+The committed file is checked against :func:`repro.cli.render_reference`
+by ``tests/test_docs.py``, so run this after any CLI change.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import render_reference  # noqa: E402
+
+
+def main() -> int:
+    """Write the rendered reference; prints the target path."""
+    target = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_reference(), encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
