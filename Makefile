@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick lint experiments perf perf-quick \
-	coverage examples-smoke docs docs-test
+	coverage examples-smoke docs docs-test metrics-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,11 +57,18 @@ lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	$(PYTHON) -c "import repro; print('import ok:', repro.__version__)"
 	$(PYTHON) -m pytest tests benchmarks --collect-only -qq
+	$(PYTHON) tools/metrics_lint.py --scan src/repro tools
 	@if $(PYTHON) -c "import interrogate" 2>/dev/null; then \
 		$(PYTHON) -m interrogate --fail-under $(DOC_COV_MIN) src/repro; \
 	else \
 		$(PYTHON) tools/docstring_coverage.py --fail-under $(DOC_COV_MIN) src/repro; \
 	fi
+
+# run the built-in quick workload, render the Prometheus exposition, and
+# fail unless it parses and contains every catalogued metric family
+metrics-smoke:
+	$(PYTHON) -m repro metrics --format prom \
+		| $(PYTHON) tools/metrics_lint.py --check-exposition -
 
 # regenerate the generated documentation (docs/cli.md); tests/test_docs.py
 # fails when the committed file drifts from the argparse tree

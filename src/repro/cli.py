@@ -18,6 +18,14 @@ Subcommands
 ``perf``       perf trajectory: ``run`` emits BENCH_<k>.json, ``compare``
                gates it against benchmarks/baseline.json, ``baseline``
                promotes a trajectory to the committed baseline
+``metrics``    run a small built-in workload and print the observability
+               registry (Prometheus text or JSON), or render a saved
+               ``--metrics-dump`` file
+
+``solve``, ``batch`` and ``dynamic`` accept ``--trace FILE``: the run is
+wrapped in a root span and every span recorded in-process (including
+spans shipped back across the process-offload boundary) is written to
+``FILE`` as NDJSON on exit.
 
 Expected failures (missing files, unknown legs, invalid trajectories)
 surface as one-line ``error: ...`` messages with exit code 2, not
@@ -65,9 +73,12 @@ def _load_graph(path: str):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     """``solve``: one labeling solve, human-readable or ``--json``."""
+    from repro.obs import span
+
     graph = _load_graph(args.graph)
     spec = _parse_spec(args.p)
-    result = solve_labeling(graph, spec, engine=args.engine)
+    with span("solve", n=graph.n, m=graph.m, engine=args.engine):
+        result = solve_labeling(graph, spec, engine=args.engine)
     if args.json:
         record = solve_record(
             result, graph=graph, spec=spec, include_labels=args.labels
@@ -173,8 +184,17 @@ def _cmd_batch_stream(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     """``batch``: solve many graphs via the caching service (JSON lines)."""
-    if args.stream:
-        return _cmd_batch_stream(args)
+    code = _cmd_batch_stream(args) if args.stream else _cmd_batch_dir(args)
+    if args.metrics_dump:
+        from repro.obs import REGISTRY
+
+        path = REGISTRY.save(args.metrics_dump)
+        print(f"metrics dump: {path}", file=sys.stderr)
+    return code
+
+
+def _cmd_batch_dir(args: argparse.Namespace) -> int:
+    """The directory-source batch path (one blocking ``submit_many``)."""
     spec = _parse_spec(args.p)
     inputs = _batch_inputs(args.source)
     if not inputs:
@@ -294,14 +314,18 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         leg = dataclasses.replace(leg, steps=args.steps)
     base, ops = churn_stream(leg)
 
+    from repro.obs import span
+
     fallbacks_before = full_apsp_refresh_count()
     t0 = time.perf_counter()
-    churn_maintain(base, ops)
+    with span("dynamic.maintain", leg=leg.name, steps=len(ops)):
+        churn_maintain(base, ops)
     incremental = time.perf_counter() - t0
     fallbacks = full_apsp_refresh_count() - fallbacks_before
 
     t0 = time.perf_counter()
-    churn_recompute(base, ops)
+    with span("dynamic.recompute", leg=leg.name, steps=len(ops)):
+        churn_recompute(base, ops)
     recompute = time.perf_counter() - t0
 
     verified = True
@@ -406,6 +430,74 @@ def _cmd_perf_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_workload() -> None:
+    """Drive traffic through every instrumented layer of the stack.
+
+    The quick workload behind a bare ``repro-label metrics``: the SERVICE
+    ``mixed-small`` stream through a 2-worker concurrent server (server
+    counters, queue gauges, latency histograms, sharded-cache counters,
+    shard contention), a duplicate solve pair through a single-lock-cache
+    service (the ``tier="single"`` counters), and one dynamic churn pass
+    (APSP and full-refresh counters).  Everything runs inline — no
+    process offload — so the whole thing finishes in well under a second.
+    """
+    from concurrent.futures import wait
+
+    from repro.graphs import generators as gen
+    from repro.harness.workloads import (
+        DYNAMIC,
+        SERVICE,
+        churn_maintain,
+        churn_stream,
+        service_stream,
+    )
+    from repro.labeling.spec import L21
+    from repro.service.server import ConcurrentLabelingService
+
+    server = ConcurrentLabelingService(workers=2, offload=False)
+    try:
+        futures = [
+            server.submit(r.graph, r.spec, engine=r.engine, tag=r.tag)
+            for r in service_stream(SERVICE["mixed-small"])
+        ]
+        wait(futures)
+    finally:
+        server.shutdown(wait=True)
+
+    single = LabelingService(cache_shards=1)
+    g = gen.random_graph_with_diameter_at_most(16, 2, seed=3)
+    single.submit(g, L21, engine="lk")       # miss + put
+    single.submit(g.copy(), L21, engine="lk")  # hit
+
+    base, ops = churn_stream(DYNAMIC["churn-diam2-small"])
+    churn_maintain(base, ops)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: print a metrics exposition (Prometheus text or JSON).
+
+    By default runs :func:`_metrics_workload` first, so a bare invocation
+    prints a fully populated exposition — the shape a scrape of a live
+    process would return.  ``--from FILE`` renders a registry dump written
+    by ``batch --metrics-dump`` instead (no workload); ``--no-workload``
+    renders the process registry as-is (catalogued families at zero).
+    """
+    from repro.obs import REGISTRY
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.source is not None:
+        registry = MetricsRegistry.load(args.source)
+    else:
+        registry = REGISTRY
+        if not args.no_workload:
+            _metrics_workload()
+    if args.format == "json":
+        print(json.dumps(registry.to_json()))
+    else:
+        sys.stdout.write(registry.render_prom())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the repro-label CLI."""
     ap = argparse.ArgumentParser(
@@ -420,6 +512,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--engine", default="auto", choices=["auto", *ENGINES])
     s.add_argument("--labels", action="store_true", help="print per-vertex labels")
     s.add_argument("--json", action="store_true", help="emit one JSON record")
+    s.add_argument("--trace", default=None, metavar="FILE",
+                   help="write recorded trace spans to FILE as NDJSON")
     s.set_defaults(fn=_cmd_solve)
 
     b = sub.add_parser(
@@ -447,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-size", type=int, default=64, metavar="N",
         help="submission-queue high-water mark for --stream (default 64)",
     )
+    b.add_argument(
+        "--metrics-dump", default=None, metavar="FILE",
+        help="write the metrics registry as JSON after the batch "
+             "(render later with `metrics --from FILE`)",
+    )
+    b.add_argument("--trace", default=None, metavar="FILE",
+                   help="write recorded trace spans to FILE as NDJSON")
     b.set_defaults(fn=_cmd_batch)
 
     st = sub.add_parser(
@@ -491,7 +592,29 @@ def build_parser() -> argparse.ArgumentParser:
              "after every delta",
     )
     dy.add_argument("--json", action="store_true", help="emit one JSON record")
+    dy.add_argument("--trace", default=None, metavar="FILE",
+                    help="write recorded trace spans to FILE as NDJSON")
     dy.set_defaults(fn=_cmd_dynamic)
+
+    me = sub.add_parser(
+        "metrics",
+        help="run a quick workload and print the metrics exposition",
+    )
+    me.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="Prometheus 0.0.4 text (default) or the lossless JSON dump",
+    )
+    me.add_argument(
+        "--from", dest="source", default=None, metavar="FILE",
+        help="render a registry dump written by `batch --metrics-dump` "
+             "instead of running the built-in workload",
+    )
+    me.add_argument(
+        "--no-workload", action="store_true",
+        help="skip the built-in workload; render the live registry as-is "
+             "(every catalogued family, zero-valued)",
+    )
+    me.set_defaults(fn=_cmd_metrics)
 
     pf = sub.add_parser(
         "perf",
@@ -603,8 +726,20 @@ def main(argv: list[str] | None = None) -> int:
     traceback.
     """
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
     try:
-        return args.fn(args)
+        if trace_path is None:
+            return args.fn(args)
+        # --trace: run under a root span, then drain everything recorded
+        # (including offload spans shipped back by the worker pool) to the
+        # requested NDJSON file.
+        from repro.obs import TRACER, span
+
+        with span(f"cli.{args.command}"):
+            code = args.fn(args)
+        path = TRACER.dump_ndjson(trace_path)
+        print(f"trace: {path}", file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

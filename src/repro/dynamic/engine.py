@@ -38,6 +38,7 @@ from repro.graphs.analysis import (
 )
 from repro.graphs.graph import Graph, Mutation
 from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
+from repro.obs.metrics import REGISTRY
 
 #: Fraction of rows above which an edge-delete repair falls back to a full
 #: APSP.  Touched rows cost one multi-source BFS level-sweep each, so a
@@ -46,23 +47,25 @@ from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
 #: the adjacency-matrix rebuild the full kernel pays) wins.
 DELETE_FALLBACK_FRACTION = 0.75
 
-#: Process-wide count of incremental repairs abandoned for a full APSP.
-_FULL_REFRESHES = 0
+#: Registry counter of incremental repairs abandoned for a full APSP.
+_FULL_REFRESHES = REGISTRY.counter("repro_full_apsp_refresh_total")
+_FULL_REFRESHES.labels()  # materialize: the exposition shows 0, not nothing
 
 
 def full_apsp_refresh_count() -> int:
     """How many times delta repair fell back to a full APSP in this process.
 
     The ``DYNAMIC`` perf leg records this per churn stream and the
-    committed baseline gates it: the count may never rise.
+    committed baseline gates it: the count may never rise.  Delegates to
+    the ``repro_full_apsp_refresh_total`` registry counter, so the legacy
+    call sites and the metrics exposition share one value.
     """
-    return _FULL_REFRESHES
+    return int(_FULL_REFRESHES.value)
 
 
 def _count_full_refresh() -> None:
     """Bump the process-wide abandoned-repair counter."""
-    global _FULL_REFRESHES
-    _FULL_REFRESHES += 1
+    _FULL_REFRESHES.inc()
 
 
 # ---------------------------------------------------------------------------

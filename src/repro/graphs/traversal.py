@@ -21,19 +21,26 @@ from collections import deque
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs.metrics import REGISTRY
 
 #: Sentinel distance for unreachable vertex pairs.
 UNREACHABLE: int = -1
 
-#: Count of full APSP kernel runs in this process.  The analysis oracle's
-#: contract — "at most one APSP per graph version" — is asserted in tests by
-#: snapshotting this counter around end-to-end solves.
-_APSP_RUNS = 0
+#: Registry counter of full APSP kernel runs in this process.  The analysis
+#: oracle's contract — "at most one APSP per graph version" — is asserted in
+#: tests by snapshotting this counter around end-to-end solves; the perf
+#: baseline gates it per scenario.
+_APSP_RUNS = REGISTRY.counter("repro_apsp_runs_total")
+_APSP_RUNS.labels()  # materialize: the exposition shows 0, not nothing
 
 
 def apsp_run_count() -> int:
-    """How many times the APSP kernel has run in this process."""
-    return _APSP_RUNS
+    """How many times the APSP kernel has run in this process.
+
+    Delegates to the ``repro_apsp_runs_total`` registry counter — the
+    legacy call sites and the metrics exposition can never disagree.
+    """
+    return int(_APSP_RUNS.value)
 
 
 def bfs_distances(graph: Graph, source: int) -> np.ndarray:
@@ -73,8 +80,7 @@ def all_pairs_distances(graph: Graph) -> np.ndarray:
     Prefer :func:`repro.graphs.analysis.get_analysis` over calling this
     directly — the oracle memoizes the result per graph version.
     """
-    global _APSP_RUNS
-    _APSP_RUNS += 1
+    _APSP_RUNS.inc()
     n = graph.n
     dist = np.full((n, n), UNREACHABLE, dtype=np.int64)
     if n == 0:

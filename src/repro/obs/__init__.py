@@ -1,0 +1,54 @@
+"""Observability layer: metrics registry, trace spans, exposition.
+
+A leaf layer (imports nothing above :mod:`repro.errors`) that every other
+layer reports into:
+
+- :mod:`repro.obs.catalog` — the metric-name catalogue, the single source
+  of truth for what the process exposes;
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (thread-safe
+  counters/gauges/histograms) with Prometheus 0.0.4 text exposition and a
+  lossless JSON dump; the process-wide :data:`REGISTRY` pre-registers the
+  catalogue;
+- :mod:`repro.obs.trace` — ``span()`` context managers producing
+  structured records with thread and process propagation, drainable as
+  NDJSON (the ``--trace FILE`` CLI flag).
+
+See ``docs/observability.md`` for the metric catalogue, histogram
+buckets, trace schema and a scrape example.
+"""
+
+from repro.obs.catalog import CATALOG
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    SpanContext,
+    Tracer,
+    activate,
+    current_context,
+    current_span,
+    span,
+)
+
+__all__ = [
+    "CATALOG",
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "TRACER",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "activate",
+    "current_context",
+    "current_span",
+    "span",
+]

@@ -297,6 +297,15 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
     the stream, not of scheduling), and the gated ``shard_lock_wait``
     contention rate, which the baseline comparator never allows to rise.
 
+    Both gated values are sourced from the observability registry
+    (:data:`repro.obs.REGISTRY`): the hit rate from counter deltas
+    captured around the 4-worker serve (``repro_server_{hits,coalesced,
+    submitted,rejected}_total``) and the contention rate from the
+    ``repro_shard_contention_rate`` gauge sampled immediately after it,
+    while the 4-worker server's cache still owns the gauge.  The scenario
+    therefore *is* a consistency check: the numbers the perf gate
+    compares are the same ones ``repro-label metrics`` exposes.
+
     On a single-CPU host cold solves cannot parallelize (the workers
     solve inline; process offload would only add overhead), so the
     scaling ratio reflects queuing/coalescing alone there; the ≥2x
@@ -304,6 +313,7 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
     """
     from concurrent.futures import ThreadPoolExecutor, wait
 
+    from repro.obs import REGISTRY
     from repro.service.server import ConcurrentLabelingService
 
     leg = SERVICE["mixed-small" if quick else "mixed-dense"]
@@ -329,26 +339,50 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
         server.shutdown(wait=True)
         return wall, server
 
+    # Server counters this scenario diffs around the 4-worker serve.  The
+    # registry is process-global, but each serve() runs to completion
+    # before the next begins, so the delta isolates exactly one serve.
+    delta_names = (
+        "repro_server_hits_total",
+        "repro_server_coalesced_total",
+        "repro_server_submitted_total",
+        "repro_server_rejected_total",
+    )
+
     rps: dict[int, list[float]] = {w: [] for w in widths}
     walls = []
-    last: ConcurrentLabelingService | None = None
+    hit_rate = 0.0
+    shard_lock_wait = 0.0
     serve(widths[-1])  # warm-up (allocator, thread machinery)
     for _ in range(repeats):
         for w in widths:
-            wall, server = serve(w)
+            before = {name: REGISTRY.value(name) for name in delta_names}
+            wall, _ = serve(w)
             rps[w].append(leg.requests / wall if wall > 0 else 0.0)
             if w == 4:
                 walls.append(wall)
-                last = server
+                d = {
+                    name: REGISTRY.value(name) - before[name]
+                    for name in delta_names
+                }
+                accepted = (
+                    d["repro_server_submitted_total"]
+                    - d["repro_server_rejected_total"]
+                )
+                hit_rate = (
+                    d["repro_server_hits_total"]
+                    + d["repro_server_coalesced_total"]
+                ) / accepted if accepted else 0.0
+                # Sample the contention gauge while this serve's cache
+                # still owns it (the next construction takes it over).
+                shard_lock_wait = REGISTRY.value("repro_shard_contention_rate")
 
-    assert last is not None
-    cache = last.cache
     median_rps = {w: statistics.median(r) for w, r in rps.items()}
     metrics = {
         "requests": leg.requests,
         "unique": leg.unique,
-        "cache_hit_rate": round(last.stats.hit_rate, 4),
-        "shard_lock_wait": round(cache.contention_rate, 4),
+        "cache_hit_rate": round(hit_rate, 4),
+        "shard_lock_wait": round(shard_lock_wait, 4),
         "workers_speedup_4": round(median_rps[4] / median_rps[1], 2)
         if median_rps[1] > 0 else 0.0,
     }

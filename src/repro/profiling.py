@@ -2,16 +2,23 @@
 
 Thin wrappers around :mod:`cProfile` that return structured rows instead of
 dumping text, so examples and notebooks can show "where the time goes" for
-a solver call without external tooling.
+a solver call without external tooling.  When a trace span is active
+(:mod:`repro.obs.trace`), :func:`profile_call` attaches its hot-spot rows
+to it, so a drained trace carries not just *where the request spent its
+time* across stages but *which functions* dominated inside the profiled
+stage.
 """
 
 from __future__ import annotations
 
 import cProfile
+import dataclasses
 import pstats
 from dataclasses import dataclass
 from io import StringIO
 from typing import Any, Callable
+
+from repro.obs.trace import current_span
 
 
 @dataclass(frozen=True)
@@ -30,7 +37,9 @@ def profile_call(
     """Run ``fn`` under cProfile; return ``(result, hottest functions)``.
 
     Rows are sorted by cumulative time, library-internal frames first-class
-    (no filtering — seeing numpy kernels is the point).
+    (no filtering — seeing numpy kernels is the point).  If called inside
+    an active ``span()``, the returned rows are also attached to that span
+    under the ``hotspots`` tag (as plain dicts, NDJSON-ready).
     """
     profiler = cProfile.Profile()
     result = profiler.runcall(fn)
@@ -42,7 +51,11 @@ def profile_call(
         short = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
         rows.append(HotSpot(short, int(nc), float(tt), float(ct)))
     rows.sort(key=lambda r: -r.cumulative_seconds)
-    return result, rows[:top]
+    rows = rows[:top]
+    active = current_span()
+    if active is not None:
+        active.tags["hotspots"] = [dataclasses.asdict(r) for r in rows]
+    return result, rows
 
 
 def format_hotspots(rows: list[HotSpot]) -> str:

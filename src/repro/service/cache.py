@@ -19,6 +19,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
+
+#: Registry counter families shared by every cache tier; instances resolve
+#: per-tier children once at construction (see ``ResultCache.__init__``).
+_M_HITS = REGISTRY.counter("repro_cache_hits_total")
+_M_MISSES = REGISTRY.counter("repro_cache_misses_total")
+_M_PUTS = REGISTRY.counter("repro_cache_puts_total")
+_M_EVICTIONS = REGISTRY.counter("repro_cache_evictions_total")
 
 
 @dataclass(frozen=True)
@@ -102,9 +110,18 @@ class ResultCache:
     """
 
     def __init__(
-        self, capacity: int = 4096, path: str | Path | None = None
+        self,
+        capacity: int = 4096,
+        path: str | Path | None = None,
+        metrics_tier: str = "single",
     ) -> None:
-        """Create the cache; an existing ``path`` file warm-starts it."""
+        """Create the cache; an existing ``path`` file warm-starts it.
+
+        ``metrics_tier`` labels this cache's registry counters
+        (``repro_cache_*_total{tier=...}``): ``"single"`` for the plain
+        one-lock cache, ``"sharded"`` for shards of a
+        :class:`~repro.service.shard.ShardedResultCache`.
+        """
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -112,6 +129,10 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, CachedSolve] = OrderedDict()
         self.stats = CacheStats()
+        self._m_hits = _M_HITS.labels(tier=metrics_tier)
+        self._m_misses = _M_MISSES.labels(tier=metrics_tier)
+        self._m_puts = _M_PUTS.labels(tier=metrics_tier)
+        self._m_evictions = _M_EVICTIONS.labels(tier=metrics_tier)
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -122,9 +143,11 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                self._m_misses.inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._m_hits.inc()
             return entry
 
     def peek(self, key: str) -> CachedSolve | None:
@@ -139,9 +162,11 @@ class ResultCache:
                 self._entries.move_to_end(key)
             self._entries[key] = value
             self.stats.puts += 1
+            self._m_puts.inc()
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop every entry (lifetime stats are preserved)."""
@@ -209,4 +234,5 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                self._m_evictions.inc()
         return len(entries)

@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -52,6 +53,8 @@ from repro.errors import (
 from repro.graphs.analysis import GraphAnalysis
 from repro.graphs.graph import Graph
 from repro.labeling.spec import LpSpec
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER, SpanContext
 from repro.service.api import LabelingService
 from repro.service.batch import (
     SolveRequest,
@@ -68,6 +71,22 @@ DEFAULT_QUEUE_SIZE = 64
 #: Sentinel that tells a worker thread to exit.
 _STOP = object()
 
+#: Registry counter families mirroring every :class:`ServerStats` field;
+#: the stats object increments both under its single lock, so the server's
+#: own counters and the metrics exposition can never disagree.
+_STAT_COUNTERS = {
+    name: REGISTRY.counter(f"repro_server_{name}_total")
+    for name in (
+        "submitted", "completed", "hits", "coalesced",
+        "solved", "rejected", "cancelled", "errors",
+    )
+}
+for _family in _STAT_COUNTERS.values():
+    _family.labels()  # materialize: the exposition shows 0, not nothing
+del _family
+_HIGH_WATER_GAUGE = REGISTRY.gauge("repro_queue_high_water")
+_HIGH_WATER_GAUGE.labels()
+
 
 @dataclass
 class ServerStats:
@@ -80,6 +99,12 @@ class ServerStats:
     every accepted request resolved exactly once — ``completed ==
     submitted - rejected - cancelled`` — and, absent errors,
     ``hits + coalesced + solved == completed``.
+
+    All mutation goes through :meth:`add` / :meth:`observe_depth`, which
+    take the stats' single internal lock; :meth:`snapshot` reads every
+    field under that same lock, so derived values (``hit_rate``,
+    :meth:`to_json`) are computed from one consistent view — never from a
+    torn read interleaved with a concurrent update.
     """
 
     submitted: int = 0
@@ -92,6 +117,53 @@ class ServerStats:
     errors: int = 0
     #: Highest queue depth observed at submission time.
     high_water: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    #: The counter fields :meth:`add` accepts (everything but high_water).
+    _FIELDS = (
+        "submitted", "completed", "hits", "coalesced",
+        "solved", "rejected", "cancelled", "errors",
+    )
+
+    def add(self, **deltas: int) -> None:
+        """Atomically bump counter fields (and their registry mirrors).
+
+        ``stats.add(hits=1, completed=1)`` is one critical section, so a
+        concurrent :meth:`snapshot` sees either both increments or
+        neither.
+        """
+        unknown = [k for k in deltas if k not in self._FIELDS]
+        if unknown:
+            raise ReproError(f"unknown ServerStats fields: {unknown}")
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+        for name, delta in deltas.items():
+            _STAT_COUNTERS[name].inc(delta)
+
+    def observe_depth(self, depth: int) -> None:
+        """Fold one observed queue depth into the high-water mark."""
+        with self._lock:
+            if depth > self.high_water:
+                self.high_water = depth
+                _HIGH_WATER_GAUGE.set(self.high_water)
+
+    def snapshot(self) -> dict:
+        """Every field read atomically under the single stats lock.
+
+        The returned dict includes the derived ``hit_rate``, computed from
+        the same consistent view of the fields.
+        """
+        with self._lock:
+            snap = {name: getattr(self, name) for name in self._FIELDS}
+            snap["high_water"] = self.high_water
+        accepted = snap["submitted"] - snap["rejected"]
+        snap["hit_rate"] = (
+            (snap["hits"] + snap["coalesced"]) / accepted if accepted else 0.0
+        )
+        return snap
 
     @property
     def hit_rate(self) -> float:
@@ -100,25 +172,20 @@ class ServerStats:
         Counts both cache hits and in-flight coalescing — from the
         client's viewpoint the two are the same thing (no engine ran for
         this request) — so the rate is a deterministic function of the
-        request stream, not of scheduling luck.
+        request stream, not of scheduling luck.  Computed from one atomic
+        :meth:`snapshot`.
         """
-        accepted = self.submitted - self.rejected
-        return (self.hits + self.coalesced) / accepted if accepted else 0.0
+        return self.snapshot()["hit_rate"]
 
     def to_json(self) -> dict:
-        """JSON counters, the shape the perf trajectory records."""
-        return {
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "hits": self.hits,
-            "coalesced": self.coalesced,
-            "solved": self.solved,
-            "rejected": self.rejected,
-            "cancelled": self.cancelled,
-            "errors": self.errors,
-            "high_water": self.high_water,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+        """JSON counters, the shape the perf trajectory records.
+
+        Serialized from one atomic :meth:`snapshot`, so the emitted
+        numbers are mutually consistent even under concurrent updates.
+        """
+        snap = self.snapshot()
+        snap["hit_rate"] = round(snap["hit_rate"], 4)
+        return snap
 
 
 @dataclass
@@ -131,6 +198,31 @@ class _Job:
     #: Internal future resolving to ``(CachedSolve, cached, seconds)``;
     #: every public future for this key chains off it.
     internal: Future = field(default_factory=Future)
+    #: Trace context captured on the submitting thread; the worker (and
+    #: any offload process) parents its spans under it.
+    ctx: SpanContext | None = None
+    #: ``perf_counter`` timestamp taken just before ``queue.put`` — the
+    #: queue-wait histogram measures from here to worker pickup.
+    enqueued: float = 0.0
+
+
+def _traced_solve_job(payload: tuple[dict | None, tuple]) -> tuple[tuple, tuple]:
+    """Pool-side wrapper: solve one job inside a propagated trace span.
+
+    Runs in the offload worker *process*.  When the submission carried a
+    span context, the solve runs under a ``solve.offload`` span parented
+    to it, and the child's drained span rows ride back with the result so
+    the parent tracer can re-ingest them — one trace spans the process
+    boundary.  Without a context it degenerates to :func:`_solve_job`.
+    """
+    ctx_row, job = payload
+    if ctx_row is None:
+        return _solve_job(job), ()
+    ctx = SpanContext(**ctx_row)
+    with TRACER.activate(ctx):
+        with TRACER.span("solve.offload", pid=os.getpid(), key=job[0]):
+            out = _solve_job(job)
+    return out, tuple(s.to_json() for s in TRACER.drain())
 
 
 class ConcurrentLabelingService:
@@ -194,9 +286,33 @@ class ConcurrentLabelingService:
         self._pool = (
             ProcessPoolExecutor(max_workers=workers) if offload else None
         )
+        # Registry surface: latency histograms are shared process-wide;
+        # the queue-depth gauge samples this instance weakly (most recent
+        # server owns it); per-worker busy/idle gauges measure the GIL
+        # ceiling directly (utilization = busy / (busy + idle)).
+        self._m_request = REGISTRY.histogram("repro_request_seconds")
+        self._m_queue_wait = REGISTRY.histogram("repro_request_queue_seconds")
+        self._m_solve = REGISTRY.histogram("repro_solve_seconds")
+        for family in (self._m_request, self._m_queue_wait, self._m_solve):
+            family.labels()  # materialize: expose zeroed buckets immediately
+        REGISTRY.gauge("repro_queue_depth").set_function(
+            lambda server: server.queue_depth(), owner=self
+        )
+        self._worker_times = [[0.0, 0.0] for _ in range(workers)]  # busy, idle
+        self._m_worker_busy = [
+            REGISTRY.gauge("repro_worker_busy_seconds").labels(worker=str(i))
+            for i in range(workers)
+        ]
+        self._m_worker_idle = [
+            REGISTRY.gauge("repro_worker_idle_seconds").labels(worker=str(i))
+            for i in range(workers)
+        ]
         self._threads = [
             threading.Thread(
-                target=self._worker, name=f"labeling-worker-{i}", daemon=True
+                target=self._worker,
+                args=(i,),
+                name=f"labeling-worker-{i}",
+                daemon=True,
             )
             for i in range(workers)
         ]
@@ -212,6 +328,26 @@ class ConcurrentLabelingService:
     def queue_depth(self) -> int:
         """Requests currently queued (approximate, unlocked read)."""
         return self._queue.qsize()
+
+    def worker_utilization(self) -> list[dict]:
+        """Per-worker busy/idle accounting, in worker order.
+
+        ``utilization = busy / (busy + idle)`` is the direct measurement
+        of thread-scaling headroom: workers near 1.0 that still deliver no
+        throughput gain are serialized on the GIL, not starved of work.
+        Reading is unlocked (each slot is written only by its own worker).
+        """
+        out = []
+        for busy, idle in self._worker_times:
+            total = busy + idle
+            out.append(
+                {
+                    "busy_seconds": round(busy, 6),
+                    "idle_seconds": round(idle, 6),
+                    "utilization": round(busy / total, 4) if total else 0.0,
+                }
+            )
+        return out
 
     # ------------------------------------------------------------------
     def submit(
@@ -238,6 +374,7 @@ class ConcurrentLabelingService:
         ``block=False`` rejects immediately with
         :class:`ServiceOverloadedError`.
         """
+        t_submit = time.perf_counter()
         request = SolveRequest(
             graph=graph, spec=spec, engine=engine, tag=tag, analysis=analysis
         )
@@ -255,11 +392,10 @@ class ConcurrentLabelingService:
                     raise ServiceClosedError(
                         "service is shut down; no new submissions"
                     )
-                self.stats.submitted += 1
-                self.stats.hits += 1
-                self.stats.completed += 1
+                self.stats.add(submitted=1, hits=1, completed=1)
             done: Future = Future()
             done.set_result(_answer(request, form, key, entry, cached=True))
+            self._m_request.observe(time.perf_counter() - t_submit)
             return done
 
         with self._lock:
@@ -267,22 +403,26 @@ class ConcurrentLabelingService:
                 raise ServiceClosedError(
                     "service is shut down; no new submissions"
                 )
-            self.stats.submitted += 1
-            depth = self._queue.qsize()
-            if depth > self.stats.high_water:
-                self.stats.high_water = depth
+            self.stats.add(submitted=1)
+            self.stats.observe_depth(self._queue.qsize())
             internal = self._inflight.get(key)
             owner = internal is None
             if owner:
-                job = _Job(key=key, request=request, form=form)
+                job = _Job(
+                    key=key,
+                    request=request,
+                    form=form,
+                    ctx=TRACER.current_context(),
+                )
                 internal = job.internal
                 self._inflight[key] = internal
                 self._submitting += 1
             else:
-                self.stats.coalesced += 1
+                self.stats.add(coalesced=1)
 
         if owner:
             try:
+                job.enqueued = time.perf_counter()
                 self._queue.put(job, block=block, timeout=timeout)
             except queue.Full:
                 overloaded = ServiceOverloadedError(
@@ -291,7 +431,7 @@ class ConcurrentLabelingService:
                 )
                 with self._lock:
                     self._inflight.pop(key, None)
-                    self.stats.rejected += 1
+                    self.stats.add(rejected=1)
                 # followers that coalesced in the meantime must observe the
                 # rejection, not an indistinguishable cancellation; the
                 # owner itself gets the synchronous raise (and no future)
@@ -304,7 +444,8 @@ class ConcurrentLabelingService:
         public: Future = Future()
         internal.add_done_callback(
             lambda f: self._deliver(
-                f, public, request, form, key, follower=not owner
+                f, public, request, form, key,
+                follower=not owner, t_submit=t_submit,
             )
         )
         return public
@@ -331,14 +472,19 @@ class ConcurrentLabelingService:
         form: CanonicalForm,
         key: str,
         follower: bool = False,
+        t_submit: float | None = None,
     ) -> None:
         """Translate the internal outcome into one caller's public future.
 
         A ``follower`` (a request that coalesced onto another's in-flight
         solve) reports ``cached=True`` with zero seconds — the same
         accounting :class:`~repro.service.batch.BatchSolver` uses for
-        in-batch duplicates: no engine ran *for this request*.
+        in-batch duplicates: no engine ran *for this request*.  Every
+        resolution (including errors) lands one end-to-end sample in the
+        ``repro_request_seconds`` histogram.
         """
+        if t_submit is not None:
+            self._m_request.observe(time.perf_counter() - t_submit)
         try:
             entry, cached, seconds = internal.result()
             if follower:
@@ -350,30 +496,50 @@ class ConcurrentLabelingService:
             if not public.set_running_or_notify_cancel():
                 return
             public.set_exception(exc)
-            with self._lock:
-                self.stats.completed += 1
+            self.stats.add(completed=1)
             return
         if not public.set_running_or_notify_cancel():
             return  # caller cancelled while we solved; nothing to deliver
         public.set_result(
             _answer(request, form, key, entry, cached=cached, seconds=seconds)
         )
-        with self._lock:
-            self.stats.completed += 1
+        self.stats.add(completed=1)
 
-    def _worker(self) -> None:
-        """Worker loop: drain jobs until the stop sentinel arrives."""
+    def _worker(self, index: int) -> None:
+        """Worker loop: drain jobs until the stop sentinel arrives.
+
+        Accounts its own busy/idle split into ``self._worker_times[index]``
+        (idle = blocked on the queue, busy = processing a job) and mirrors
+        the totals into the per-worker registry gauges — the direct
+        measurement behind the ``workers_speedup_4`` scaling question.
+        """
+        times = self._worker_times[index]
+        busy_gauge = self._m_worker_busy[index]
+        idle_gauge = self._m_worker_idle[index]
         while True:
+            t0 = time.perf_counter()
             item = self._queue.get()
+            t1 = time.perf_counter()
+            times[1] += t1 - t0
+            idle_gauge.set(times[1])
             try:
                 if item is _STOP:
                     return
-                self._process(item)
+                with TRACER.activate(item.ctx):
+                    if item.ctx is not None:
+                        with TRACER.span("server.process", key=item.key):
+                            self._process(item)
+                    else:
+                        self._process(item)
             finally:
+                times[0] += time.perf_counter() - t1
+                busy_gauge.set(times[0])
                 self._queue.task_done()
 
     def _process(self, job: _Job) -> None:
         """Answer one queued job: re-probe the cache, else solve and publish."""
+        if job.enqueued:
+            self._m_queue_wait.observe(time.perf_counter() - job.enqueued)
         # Re-probe: the entry may have been cached between this job's
         # submission and now (an identical earlier job finished).  Without
         # this check the submit-probe/finish race could double-solve.
@@ -390,9 +556,18 @@ class ConcurrentLabelingService:
         )
         try:
             if self._pool is not None:
-                _key, labels, span, engine, exact, seconds = self._pool.submit(
-                    _solve_job, plain
+                ctx = TRACER.current_context()
+                ctx_row = (
+                    {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+                    if ctx is not None
+                    else None
+                )
+                outcome, child_spans = self._pool.submit(
+                    _traced_solve_job, (ctx_row, plain)
                 ).result()
+                _key, labels, span, engine, exact, seconds = outcome
+                if child_spans:
+                    TRACER.ingest(list(child_spans))
             else:
                 _key, labels, span, engine, exact, seconds = (
                     self.service.solver._solve_inline(
@@ -402,9 +577,10 @@ class ConcurrentLabelingService:
         except BaseException as exc:  # engine failures must reach the waiters
             with self._lock:
                 self._inflight.pop(job.key, None)
-                self.stats.errors += 1
+            self.stats.add(errors=1)
             job.internal.set_exception(exc)
             return
+        self._m_solve.observe(seconds)
         entry = CachedSolve(labels=labels, span=span, engine=engine, exact=exact)
         self.cache.put(job.key, entry)
         self._finish(job, entry, cached=False, seconds=seconds)
@@ -415,10 +591,10 @@ class ConcurrentLabelingService:
         """Publish a solved/cached entry and retire the in-flight record."""
         with self._lock:
             self._inflight.pop(job.key, None)
-            if cached:
-                self.stats.hits += 1
-            else:
-                self.stats.solved += 1
+        if cached:
+            self.stats.add(hits=1)
+        else:
+            self.stats.add(solved=1)
         job.internal.set_result((entry, cached, seconds))
 
     # ------------------------------------------------------------------
@@ -441,7 +617,7 @@ class ConcurrentLabelingService:
                     continue
                 with self._lock:
                     self._inflight.pop(item.key, None)
-                    self.stats.cancelled += 1
+                self.stats.add(cancelled=1)
                 item.internal.cancel()
             finally:
                 self._queue.task_done()

@@ -40,6 +40,7 @@ import zlib
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
 from repro.service.cache import (
     _PERSIST_VERSION,
     CachedSolve,
@@ -93,7 +94,7 @@ class _CacheShard(ResultCache):
 
     def __init__(self, capacity: int) -> None:
         """A path-less ResultCache guarded by a counting lock."""
-        super().__init__(capacity=capacity, path=None)
+        super().__init__(capacity=capacity, path=None, metrics_tier="sharded")
         self._lock = _ContentionLock()  # replaces the plain mutex
 
     @property
@@ -136,6 +137,16 @@ class ShardedResultCache:
         self.path = Path(path) if path is not None else None
         per_shard = -(-capacity // shards)  # ceil division
         self._shards = tuple(_CacheShard(per_shard) for _ in range(shards))
+        # Contention gauges sample this instance through a weak reference —
+        # the most recently built sharded cache owns the gauge, and a
+        # collected cache leaves the last sampled value behind instead of
+        # being pinned alive by the registry.
+        REGISTRY.gauge("repro_shard_contention_rate").set_function(
+            lambda cache: cache.contention_rate, owner=self
+        )
+        REGISTRY.gauge("repro_shard_lock_contentions_total").set_function(
+            lambda cache: cache.lock_contentions, owner=self
+        )
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -270,4 +281,5 @@ class ShardedResultCache:
                 while len(shard._entries) > shard.capacity:
                     shard._entries.popitem(last=False)
                     shard.stats.evictions += 1
+                    shard._m_evictions.inc()
         return len(entries)
