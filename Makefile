@@ -17,15 +17,17 @@ bench:
 
 # assertion-only pass over the oracle + dynamic-engine + serving
 # benchmarks (fast enough for CI): bit-identical matrices, APSP-once,
-# zero-APSP sessions, no duplicate solves under concurrency.  Wall-clock
-# floors (the E13 >=3x churn win, the E14 >=2x worker scaling) are
-# deselected here — timing asserts belong to the calibrated perf gate and
-# the timed `make bench` tier, not the per-push correctness tier, where
-# shared-runner noise would flake them.
+# zero-APSP sessions, no duplicate solves under concurrency, shm-pool
+# serial equivalence + zero-copy adoption + no-graph-pickling.  Wall-clock
+# floors (the E13 >=3x churn win, the E14/E15 >=2x worker scaling) are
+# deselected here — timing asserts belong to the calibrated perf gate,
+# the timed `make bench` tier and the CI pool-scaling job, not the
+# per-push correctness tier, where shared-runner noise would flake them.
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_e12_apsp_oracle.py \
 		benchmarks/bench_e13_dynamic_updates.py \
-		benchmarks/bench_e14_concurrent_service.py -q --benchmark-disable \
+		benchmarks/bench_e14_concurrent_service.py \
+		benchmarks/bench_e15_shm_pool.py -q --benchmark-disable \
 		-k "not speedup"
 
 # line-coverage gate: measured ~95% at the time of pinning; the floor sits

@@ -23,13 +23,13 @@ Four claims, all asserted (so ``make bench`` is also a correctness gate):
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 
 import pytest
 
 from repro.harness.workloads import SERVICE, service_stream
+from repro.parallel.pool import effective_cpu_count
 from repro.service.batch import BatchSolver
 from repro.service.cache import ResultCache
 from repro.service.server import ConcurrentLabelingService
@@ -40,6 +40,7 @@ LEG = SERVICE["mixed-dense"]
 def serve_stream(stream, workers: int, clients: int = 4, **kwargs):
     """Serve ``stream`` on a fresh server; returns (wall_seconds, server)."""
     server = ConcurrentLabelingService(workers=workers, **kwargs)
+    server.prewarm()  # pool start-up must not pollute the timed region
     t0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=clients) as pool:
         futures = list(
@@ -94,8 +95,9 @@ def test_shard_stats_consistent():
 
 
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4,
-    reason="4-worker scaling floor needs >= 4 CPUs (process-offloaded solves)",
+    effective_cpu_count() < 4,
+    reason="4-worker scaling floor needs >= 4 effective CPUs "
+    "(process-offloaded solves; affinity masks count)",
 )
 def test_workers_speedup_floor():
     # the cold-scaling leg is all-cold: nothing to dedup, every request an

@@ -17,6 +17,8 @@ cannot be promoted to the baseline (``perf baseline`` rejects them).
 
 from __future__ import annotations
 
+import glob
+import os
 import time
 
 import pytest
@@ -24,6 +26,22 @@ import pytest
 from repro.graphs import generators as gen
 from repro.labeling.spec import L21
 from repro.reduction.to_tsp import reduce_to_path_tsp
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_shm_leaks():
+    """Session gate: offloaded serving must unlink every shm segment."""
+    def segments():
+        if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+            return set()
+        return {
+            os.path.basename(p) for p in glob.glob("/dev/shm/repro_shm_*")
+        }
+
+    before = segments()
+    yield
+    leaked = sorted(segments() - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 def pytest_addoption(parser):

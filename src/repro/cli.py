@@ -134,6 +134,7 @@ def _cmd_batch_stream(args: argparse.Namespace) -> int:
         service=service,
         workers=args.workers or 4,
         queue_size=args.queue_size,
+        offload=args.offload,
     )
     done: "queue_mod.Queue" = queue_mod.Queue()
     submitted = printed = 0
@@ -540,6 +541,17 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--queue-size", type=int, default=64, metavar="N",
         help="submission-queue high-water mark for --stream (default 64)",
+    )
+    offload = b.add_mutually_exclusive_group()
+    offload.add_argument(
+        "--offload", dest="offload", action="store_true", default=None,
+        help="force cold --stream solves onto the shared-memory worker "
+             "pool (default: auto — offload when >1 worker and >1 "
+             "effective CPU)",
+    )
+    offload.add_argument(
+        "--no-offload", dest="offload", action="store_false",
+        help="force cold --stream solves inline on the worker threads",
     )
     b.add_argument(
         "--metrics-dump", default=None, metavar="FILE",

@@ -44,6 +44,15 @@ class ServiceClosedError(ReproError):
     """A request was submitted to a serving front-end after shutdown began."""
 
 
+class WorkerCrashedError(ReproError):
+    """A pool worker process died while (or before) running a solve.
+
+    Raised into every future that was in flight on the dead worker; the
+    pool respawns the worker and counts the death in
+    ``repro_pool_worker_restarts_total``, so callers may simply resubmit.
+    """
+
+
 class ServiceOverloadedError(ReproError):
     """A non-blocking submission found the serving queue at its high-water mark.
 

@@ -294,6 +294,63 @@ def ensure_current(
     return analysis
 
 
+def export_buffers(analysis: GraphAnalysis) -> dict[str, np.ndarray]:
+    """The analysis's heavy arrays, keyed by field name, copy-free.
+
+    ``distances`` (the ``n x n`` APSP matrix), plus the CSR adjacency pair
+    ``indptr``/``indices`` — exactly the payload worth publishing into
+    shared memory once per canonical graph instead of pickling per
+    request.  Returns the live arrays (no copy); the caller treats them as
+    read-only, same as every other consumer of the oracle.
+    """
+    return {
+        "distances": analysis.distances,
+        "indptr": analysis.indptr,
+        "indices": analysis.indices,
+    }
+
+
+def adopt_buffers(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    distances: np.ndarray,
+) -> Graph:
+    """Rebuild a graph + seeded analysis from exported buffers, copy-free.
+
+    The inverse of :func:`export_buffers` on the far side of a process
+    boundary: the adjacency structure is reconstructed from the CSR pair,
+    and the returned graph's memoized :class:`GraphAnalysis` holds the
+    *given arrays themselves* — when they are views into a shared-memory
+    segment, every downstream consumer (reduction, verify, refinement)
+    reads the segment directly and the worker never materializes its own
+    ``O(n^2)`` matrix.  The caller vouches for consistency between the
+    CSR pair and the matrix; shapes are checked, content is trusted.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    distances = np.asarray(distances, dtype=np.int64)
+    if indptr.shape != (n + 1,):
+        raise ValueError(f"indptr shape {indptr.shape} does not match n={n}")
+    if distances.shape != (n, n):
+        raise ValueError(
+            f"distance matrix shape {distances.shape} does not match n={n}"
+        )
+    edges = [
+        (v, int(w))
+        for v in range(n)
+        for w in indices[indptr[v]:indptr[v + 1]]
+        if v < w
+    ]
+    graph = Graph(n, edges)
+    analysis = GraphAnalysis(graph)
+    analysis._indptr = indptr
+    analysis._indices = indices
+    analysis._distances = distances
+    graph._analysis = analysis
+    return graph
+
+
 def attach_distances(graph: Graph, distances: np.ndarray) -> GraphAnalysis:
     """Seed the graph's oracle with an externally derived distance matrix.
 

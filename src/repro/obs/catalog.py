@@ -120,6 +120,33 @@ CATALOG: dict[str, tuple[str, str]] = {
         "Cumulative seconds each server worker spent waiting on the "
         "queue (label: worker).",
     ),
+    # ---- shared-memory worker pool ------------------------------------
+    "repro_shm_bytes_published_total": (
+        COUNTER,
+        "Bytes copied into shared-memory segments by ShmArena.publish "
+        "(distance matrices + CSR adjacency, once per canonical graph).",
+    ),
+    "repro_shm_segments_live": (
+        GAUGE,
+        "Shared-memory segments currently owned (published, not yet "
+        "unlinked) by the most recently built ShmArena.",
+    ),
+    "repro_pool_worker_restarts_total": (
+        COUNTER,
+        "Pool worker processes that died and were respawned; every "
+        "in-flight job on the dead worker failed with WorkerCrashedError.",
+    ),
+    "repro_pool_dispatch_total": (
+        COUNTER,
+        "Jobs dispatched to persistent pool workers, by worker index "
+        "(label: worker).  The canonical-key router decides the shard.",
+    ),
+    "repro_pool_route_imbalance": (
+        GAUGE,
+        "Max-over-mean dispatch count across the most recently built "
+        "pool's workers (1.0 = perfectly balanced routing; the price of "
+        "key-affinity routing shows up here, not in lost cache warmth).",
+    ),
     # ---- request latency ----------------------------------------------
     "repro_request_seconds": (
         HISTOGRAM,

@@ -16,9 +16,26 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on, at least 1.
+
+    ``os.sched_getaffinity(0)`` respects cgroup/container CPU masks and
+    ``taskset`` pinning, which bare ``os.cpu_count()`` ignores — under a
+    pinned CI leg or a containerized runner the two can disagree by an
+    order of magnitude, and every scaling decision (offload auto-detect,
+    multi-core bench floors, perf provenance) must use the effective
+    number.  Falls back to ``os.cpu_count()`` where affinity is
+    unsupported (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def default_workers() -> int:
-    """CPU count with a small safety margin, at least 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Effective CPU count with a small safety margin, at least 1."""
+    return max(1, effective_cpu_count() - 1)
 
 
 def runs_serially(workers: int | None, item_count: int) -> bool:

@@ -20,6 +20,8 @@ import time
 
 import numpy as np
 
+from repro.parallel.pool import effective_cpu_count
+
 #: Calibration kernel input: pinned so the workload is bit-identical across
 #: machines and sessions.  n=48 keeps it ~tens of milliseconds.
 _CALIBRATION_N = 48
@@ -88,7 +90,11 @@ def environment_provenance(calibrate: bool = True) -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "cpu_count": os.cpu_count() or 1,
+        # Effective CPUs (affinity/cgroup mask), not the host's logical
+        # count: a trajectory from a pinned CI leg must record the cores
+        # the run could actually use, or scaling numbers are misread.
+        "cpu_count": effective_cpu_count(),
+        "logical_cpu_count": os.cpu_count() or 1,
         "git_sha": git_sha(),
         "argv": list(sys.argv),
     }

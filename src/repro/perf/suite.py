@@ -297,7 +297,7 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
     the stream, not of scheduling), and the gated ``shard_lock_wait``
     contention rate, which the baseline comparator never allows to rise.
 
-    Both gated values are sourced from the observability registry
+    Both of those gated values are sourced from the observability registry
     (:data:`repro.obs.REGISTRY`): the hit rate from counter deltas
     captured around the 4-worker serve (``repro_server_{hits,coalesced,
     submitted,rejected}_total``) and the contention rate from the
@@ -306,24 +306,35 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
     therefore *is* a consistency check: the numbers the perf gate
     compares are the same ones ``repro-label metrics`` exposes.
 
-    On a single-CPU host cold solves cannot parallelize (the workers
-    solve inline; process offload would only add overhead), so the
-    scaling ratio reflects queuing/coalescing alone there; the ≥2x
-    multi-core floor is asserted by ``bench_e14_concurrent_service.py``.
+    The gated ``workers_speedup_4`` ratio is measured separately, on the
+    ``cold-scaling`` leg (every request a distinct engine run — nothing
+    for the cache or in-flight dedup to absorb), 4 workers vs 1.  With
+    more than one effective CPU the 4-worker server auto-offloads cold
+    solves to the persistent shared-memory pool, so the ratio measures
+    exactly what the tentpole claims: real multi-core scaling past the
+    GIL.  The ``("floor", 2.0)`` gate applies only where it is physically
+    measurable — trajectories also carry ``effective_cpus`` and the
+    comparator skips the floor below 4 — so a pinned single-core run
+    reports its honest ~1.0 without failing.
     """
     from concurrent.futures import ThreadPoolExecutor, wait
 
     from repro.obs import REGISTRY
+    from repro.parallel.pool import effective_cpu_count
     from repro.service.server import ConcurrentLabelingService
 
     leg = SERVICE["mixed-small" if quick else "mixed-dense"]
+    cold = SERVICE["cold-scaling"]
     widths = (1, 4) if quick else (1, 4, 8)
     clients = 4
 
-    def serve(workers: int) -> tuple[float, ConcurrentLabelingService]:
+    def serve(
+        workers: int, leg=leg
+    ) -> tuple[float, ConcurrentLabelingService]:
         """Serve one fresh stream at ``workers``; returns (wall, server)."""
         stream = service_stream(leg)  # fresh graphs: cold oracles, cold cache
         server = ConcurrentLabelingService(workers=workers)
+        server.prewarm()  # pool start-up is not serving throughput
         t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=clients) as pool:
             futures = list(
@@ -377,14 +388,27 @@ def concurrent_service_scenario(quick: bool, repeats: int) -> PerfRecord:
                 # still owns it (the next construction takes it over).
                 shard_lock_wait = REGISTRY.value("repro_shard_contention_rate")
 
+    # Scaling measurement: the cold-only leg, 4 workers (auto-offloaded
+    # on multi-core hosts) against 1 (inline).  Kept outside the mixed
+    # loop so cache behaviour and scaling never contaminate each other.
+    cold_rps: dict[int, list[float]] = {1: [], 4: []}
+    for _ in range(repeats):
+        for w in (1, 4):
+            wall, _ = serve(w, cold)
+            cold_rps[w].append(cold.requests / wall if wall > 0 else 0.0)
+    cold_median = {w: statistics.median(r) for w, r in cold_rps.items()}
+
     median_rps = {w: statistics.median(r) for w, r in rps.items()}
     metrics = {
         "requests": leg.requests,
         "unique": leg.unique,
+        "effective_cpus": effective_cpu_count(),
         "cache_hit_rate": round(hit_rate, 4),
         "shard_lock_wait": round(shard_lock_wait, 4),
-        "workers_speedup_4": round(median_rps[4] / median_rps[1], 2)
-        if median_rps[1] > 0 else 0.0,
+        "workers_speedup_4": round(cold_median[4] / cold_median[1], 2)
+        if cold_median[1] > 0 else 0.0,
+        "cold_rps_w1": round(cold_median[1], 2),
+        "cold_rps_w4": round(cold_median[4], 2),
     }
     for w in widths:
         metrics[f"rps_w{w}"] = round(median_rps[w], 2)

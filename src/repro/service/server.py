@@ -11,11 +11,16 @@ adds the serving layer the ROADMAP's traffic target needs:
   (``block=False``), so a burst degrades into latency or explicit rejection
   instead of unbounded memory growth.
 - **Worker pool** — ``workers`` threads drain the queue.  Cold solves are
-  CPU-bound Python, so when the host has more than one core the workers
-  offload them to a shared process pool (one process per worker) and the
-  pool width is the real parallelism; on a single-core host they solve
-  inline and the threads still provide queuing, coalescing and
-  backpressure.
+  CPU-bound Python, so when the host has more than one effective core the
+  workers offload them to a persistent :class:`ShmWorkerPool` (one
+  long-lived process per worker) and the pool width is the real
+  parallelism; on a single-core host they solve inline and the threads
+  still provide queuing, coalescing and backpressure.  Each canonical
+  graph's distance matrix and CSR adjacency are published **once** into a
+  :class:`ShmArena` shared-memory segment; after that every request
+  crosses the process boundary as a ``(canonical key, p, engine)`` tuple
+  and the worker solves on zero-copy numpy views — no per-request graph
+  pickling, no per-request pool spin-up.
 - **Dedup in flight** — concurrent requests with the same canonical key
   coalesce onto one internal solve; every caller still receives its *own*
   future whose result is translated through its own vertex order (two
@@ -38,11 +43,10 @@ adds the serving layer the ROADMAP's traffic target needs:
 
 from __future__ import annotations
 
-import os
 import queue
 import threading
 import time
-from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -50,20 +54,25 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
-from repro.graphs.analysis import GraphAnalysis
+from repro.graphs.analysis import GraphAnalysis, export_buffers, get_analysis
 from repro.graphs.graph import Graph
 from repro.labeling.spec import LpSpec
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER, SpanContext
+from repro.parallel.pool import effective_cpu_count
+from repro.parallel.shm_pool import ShmArena, ShmDescriptor, ShmWorkerPool
 from repro.service.api import LabelingService
 from repro.service.batch import (
     SolveRequest,
     _answer,
     _composed_key,
-    _solve_job,
 )
 from repro.service.cache import CachedSolve
-from repro.service.canonical import CanonicalForm, canonical_form
+from repro.service.canonical import (
+    CanonicalForm,
+    canonical_form,
+    canonical_instance,
+)
 
 #: Default submission-queue high-water mark.
 DEFAULT_QUEUE_SIZE = 64
@@ -206,25 +215,6 @@ class _Job:
     enqueued: float = 0.0
 
 
-def _traced_solve_job(payload: tuple[dict | None, tuple]) -> tuple[tuple, tuple]:
-    """Pool-side wrapper: solve one job inside a propagated trace span.
-
-    Runs in the offload worker *process*.  When the submission carried a
-    span context, the solve runs under a ``solve.offload`` span parented
-    to it, and the child's drained span rows ride back with the result so
-    the parent tracer can re-ingest them — one trace spans the process
-    boundary.  Without a context it degenerates to :func:`_solve_job`.
-    """
-    ctx_row, job = payload
-    if ctx_row is None:
-        return _solve_job(job), ()
-    ctx = SpanContext(**ctx_row)
-    with TRACER.activate(ctx):
-        with TRACER.span("solve.offload", pid=os.getpid(), key=job[0]):
-            out = _solve_job(job)
-    return out, tuple(s.to_json() for s in TRACER.drain())
-
-
 class ConcurrentLabelingService:
     """Thread-pool serving front-end over the sharded caching service.
 
@@ -234,8 +224,8 @@ class ConcurrentLabelingService:
         The underlying :class:`LabelingService` (owns the cache and the
         solve policy).  Built with a sharded cache when omitted.
     workers:
-        Worker-thread count.  Also the process-pool width when cold solves
-        are offloaded (see ``offload``).
+        Worker-thread count.  Also the persistent worker-pool width when
+        cold solves are offloaded (see ``offload``).
     queue_size:
         Submission-queue high-water mark (backpressure threshold).
     block:
@@ -243,11 +233,17 @@ class ConcurrentLabelingService:
         until queue space frees, ``False`` raises
         :class:`ServiceOverloadedError`.  Overridable per call.
     offload:
-        ``True`` ships cold solves to a process pool (real parallelism for
-        CPU-bound engines), ``False`` solves inline on the worker thread.
-        ``None`` (default) auto-detects: offload only when ``workers > 1``
-        *and* the host has more than one CPU — on a single core the pool
-        would add pickling overhead and parallelize nothing.
+        ``True`` ships cold solves to a persistent
+        :class:`~repro.parallel.shm_pool.ShmWorkerPool` (real parallelism
+        for CPU-bound engines, shared-memory graph buffers), ``False``
+        solves inline on the worker thread.  ``None`` (default)
+        auto-detects: offload only when ``workers > 1`` *and* the process
+        may run on more than one CPU (:func:`effective_cpu_count`, which
+        respects container/affinity masks) — on a single core the pool
+        would add process-hop overhead and parallelize nothing.
+    start_method:
+        Multiprocessing start method for the pool workers (``"fork"``,
+        ``"spawn"``, ...); ``None`` uses the platform default.
     """
 
     def __init__(
@@ -259,6 +255,7 @@ class ConcurrentLabelingService:
         offload: bool | None = None,
         cache_capacity: int = 4096,
         cache_shards: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         """Build the queue, cache-backed service, and start the workers."""
         if workers < 1:
@@ -282,10 +279,17 @@ class ConcurrentLabelingService:
         self._submitting = 0
         self._closed = False
         if offload is None:
-            offload = workers > 1 and (os.cpu_count() or 1) > 1
-        self._pool = (
-            ProcessPoolExecutor(max_workers=workers) if offload else None
-        )
+            offload = workers > 1 and effective_cpu_count() > 1
+        # The pool forks/spawns *before* the worker threads start, so the
+        # child processes never inherit a half-started thread's state.
+        if offload:
+            self._arena: ShmArena | None = ShmArena()
+            self._pool: ShmWorkerPool | None = ShmWorkerPool(
+                workers, start_method=start_method
+            )
+        else:
+            self._arena = None
+            self._pool = None
         # Registry surface: latency histograms are shared process-wide;
         # the queue-depth gauge samples this instance weakly (most recent
         # server owns it); per-worker busy/idle gauges measure the GIL
@@ -562,12 +566,17 @@ class ConcurrentLabelingService:
                     if ctx is not None
                     else None
                 )
-                outcome, child_spans = self._pool.submit(
-                    _traced_solve_job, (ctx_row, plain)
-                ).result()
-                _key, labels, span, engine, exact, seconds = outcome
-                if child_spans:
-                    TRACER.ingest(list(child_spans))
+                descriptor = self._lease_segment(job)
+                try:
+                    _key, labels, span, engine, exact, seconds = (
+                        self._pool.submit(
+                            descriptor,
+                            (job.key, job.request.spec.p, job.request.engine),
+                            ctx_row,
+                        ).result()
+                    )
+                finally:
+                    self._arena.release(job.form.key)
             else:
                 _key, labels, span, engine, exact, seconds = (
                     self.service.solver._solve_inline(
@@ -585,6 +594,23 @@ class ConcurrentLabelingService:
         self.cache.put(job.key, entry)
         self._finish(job, entry, cached=False, seconds=seconds)
 
+    def _lease_segment(self, job: _Job) -> ShmDescriptor:
+        """The job's canonical buffers in shared memory, leased for one solve.
+
+        The first requester of a canonical key pays one permuted-matrix
+        copy (:func:`canonical_instance` reuses the APSP already computed
+        at submit time) and one publish; every later request for the same
+        key — from any worker thread, for the lifetime of the arena entry
+        — crosses the process boundary as the descriptor alone.
+        """
+        descriptor = self._arena.lease(job.form.key)
+        if descriptor is None:
+            canonical = canonical_instance(job.form, job.request.graph)
+            descriptor = self._arena.publish(
+                job.form.key, export_buffers(get_analysis(canonical))
+            )
+        return descriptor
+
     def _finish(
         self, job: _Job, entry: CachedSolve, cached: bool, seconds: float
     ) -> None:
@@ -596,6 +622,18 @@ class ConcurrentLabelingService:
         else:
             self.stats.add(solved=1)
         job.internal.set_result((entry, cached, seconds))
+
+    # ------------------------------------------------------------------
+    def prewarm(self, timeout: float | None = 30.0) -> None:
+        """Block until every pool worker has finished starting up.
+
+        A no-op for inline services.  Benchmarks call this before the
+        timed region so the first measured request pays solve cost, not
+        process start-up; production callers may skip it — the pool
+        buffers submissions until workers come up.
+        """
+        if self._pool is not None:
+            self._pool.wait_ready(timeout=timeout)
 
     # ------------------------------------------------------------------
     def drain(self) -> None:
@@ -655,8 +693,11 @@ class ConcurrentLabelingService:
                 self._settled.wait(timeout=0.05)
         self._cancel_queued()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown()
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()  # unlinks every published segment
+            self._arena = None
 
     def __enter__(self) -> "ConcurrentLabelingService":
         """Context manager: the running service itself."""

@@ -1,14 +1,40 @@
-"""Shared fixtures: small graph corpora and RNG helpers."""
+"""Shared fixtures: small graph corpora, RNG helpers, shm-leak gate."""
 
 from __future__ import annotations
 
+import glob
 import itertools
+import os
 
 import numpy as np
 import pytest
 
 from repro.graphs.graph import Graph
 from repro.graphs import generators as gen
+
+
+def repro_shm_segments() -> list[str]:
+    """Names of this package's shared-memory segments currently in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux host
+        return []
+    return sorted(
+        os.path.basename(p) for p in glob.glob("/dev/shm/repro_shm_*")
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_shm_leaks():
+    """Session gate: every shared-memory segment must be unlinked by exit.
+
+    The shm pool's acceptance criterion is *zero* leaked segments across
+    the whole suite — including the crash tests, which SIGKILL workers
+    mid-solve.  Pre-existing segments (a concurrently running suite) are
+    tolerated but new ones are not.
+    """
+    before = set(repro_shm_segments())
+    yield
+    leaked = [name for name in repro_shm_segments() if name not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 def all_graphs(n: int):

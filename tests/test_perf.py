@@ -209,6 +209,46 @@ class TestComparator:
         report = compare(current, base)
         assert not report.passed
 
+    @staticmethod
+    def _speedup_pair(speedup: float, cpus: int):
+        """(current, base) trajectories carrying one SERVICE-style record."""
+        record = lambda s, c: PerfRecord(  # noqa: E731 - tiny local factory
+            "concurrent_service:mixed-small", (0.2, 0.21, 0.2),
+            {"workers_speedup_4": s, "effective_cpus": c},
+        )
+        base = make_trajectory(records=[record(2.5, 4)])
+        current = make_trajectory(records=[record(speedup, cpus)])
+        return current, base
+
+    def test_workers_speedup_floor_fails_below_2x_on_multicore(self):
+        current, base = self._speedup_pair(speedup=1.3, cpus=4)
+        report = compare(current, base)
+        assert not report.passed
+        verdict = report.verdicts[0]
+        assert verdict.status == "metric-regression"
+        assert "workers_speedup_4" in verdict.detail
+        assert "floor" in verdict.detail
+
+    def test_workers_speedup_floor_passes_at_2x(self):
+        current, base = self._speedup_pair(speedup=2.0, cpus=4)
+        assert compare(current, base).passed
+
+    def test_workers_speedup_floor_skipped_below_4_cpus(self):
+        # a pinned single-core runner cannot show scaling; the floor must
+        # not punish honesty (speedup ~1.0 there is physics, not a bug)
+        current, base = self._speedup_pair(speedup=1.0, cpus=1)
+        assert compare(current, base).passed
+
+    def test_workers_speedup_metric_must_stay_present(self):
+        current, base = self._speedup_pair(speedup=2.5, cpus=4)
+        current.records[0] = PerfRecord(
+            "concurrent_service:mixed-small", (0.2, 0.21, 0.2),
+            {"effective_cpus": 4},
+        )
+        report = compare(current, base)
+        assert not report.passed
+        assert "missing" in report.verdicts[0].detail
+
     def test_new_and_skipped_records_pass(self):
         base = make_trajectory()
         current = make_trajectory(
@@ -397,6 +437,15 @@ class TestEnvironment:
         assert env["cpu_count"] >= 1
         assert "numpy" in env and "python" in env
         assert "calibration_seconds" not in env
+
+    def test_cpu_count_is_the_effective_affinity_count(self):
+        from repro.parallel.pool import effective_cpu_count
+
+        env = environment_provenance(calibrate=False)
+        # cpu_count records what the run could actually use (affinity /
+        # cgroup mask); the host's logical count rides along separately
+        assert env["cpu_count"] == effective_cpu_count()
+        assert env["logical_cpu_count"] >= env["cpu_count"]
 
 
 class TestCliPerf:
