@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick lint experiments perf perf-quick \
-	coverage examples-smoke docs docs-test metrics-smoke
+	coverage examples-smoke docs docs-test metrics-smoke serve load-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,7 +27,8 @@ bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_e12_apsp_oracle.py \
 		benchmarks/bench_e13_dynamic_updates.py \
 		benchmarks/bench_e14_concurrent_service.py \
-		benchmarks/bench_e15_shm_pool.py -q --benchmark-disable \
+		benchmarks/bench_e15_shm_pool.py \
+		benchmarks/bench_e16_network_service.py -q --benchmark-disable \
 		-k "not speedup"
 
 # line-coverage gate: measured ~95% at the time of pinning; the floor sits
@@ -71,6 +72,28 @@ lint:
 metrics-smoke:
 	$(PYTHON) -m repro metrics --format prom \
 		| $(PYTHON) tools/metrics_lint.py --check-exposition -
+
+# run the HTTP front end on the default port (Ctrl-C drains gracefully)
+SERVE_ARGS ?=
+
+serve:
+	$(PYTHON) -m repro serve $(SERVE_ARGS)
+
+# CI load-smoke contract: self-serve a server, hold a low fixed offered
+# rate that the server must absorb with ZERO request errors, then scrape
+# /metrics and fail unless the exposition parses under the Prometheus
+# 0.0.4 grammar.  Low rate on purpose — this is a correctness smoke for
+# the wire path on shared runners; the saturation behaviour is measured
+# (not gated) by the network_service perf scenario.
+LOAD_SMOKE_RATE ?= 20
+LOAD_SMOKE_SECONDS ?= 2
+
+load-smoke:
+	$(PYTHON) -m repro load --rate $(LOAD_SMOKE_RATE) \
+		--duration $(LOAD_SMOKE_SECONDS) --no-offload \
+		--fail-on-errors --json --dump-metrics load-smoke.prom
+	$(PYTHON) tools/metrics_lint.py --check-exposition load-smoke.prom
+	@rm -f load-smoke.prom
 
 # regenerate the generated documentation (docs/cli.md); tests/test_docs.py
 # fails when the committed file drifts from the argparse tree

@@ -27,6 +27,7 @@ from repro.graphs.traversal import (
 )
 from repro.labeling.spec import L21
 from repro.service.api import LabelingService
+from repro.service.protocol import SolveRequest
 
 #: E-suite scaling sizes (E3 sweeps diameter-2 graphs in this range).
 SIZES = (40, 70, 100)
@@ -61,13 +62,13 @@ def test_service_solve_single_apsp():
     g = gen.random_graph_with_diameter_at_most(60, 2, seed=1).copy()  # cold oracle
     svc = LabelingService()
     before = apsp_run_count()
-    first = svc.submit(g, L21, engine="lk")
+    first = svc.submit(SolveRequest(g, L21, engine="lk"))
     assert apsp_run_count() == before + 1, "miss solve must reuse the key's APSP"
     assert not first.cached
 
     h = relabel(g, list(reversed(range(g.n))))
     before = apsp_run_count()
-    again = svc.submit(h, L21, engine="lk")
+    again = svc.submit(SolveRequest(h, L21, engine="lk"))
     assert again.cached and again.span == first.span
     assert apsp_run_count() == before + 1, "warm hit pays only its own key APSP"
 
@@ -85,6 +86,6 @@ def test_bench_apsp_reference(benchmark, diam2_n100):
 def test_bench_service_warm_oracle(benchmark, diam2_n100):
     """Steady-state submit where graph analysis + result cache are warm."""
     svc = LabelingService()
-    svc.submit(diam2_n100, L21, engine="lk")
-    result = benchmark(lambda: svc.submit(diam2_n100, L21, engine="lk"))
+    svc.submit(SolveRequest(diam2_n100, L21, engine="lk"))
+    result = benchmark(lambda: svc.submit(SolveRequest(diam2_n100, L21, engine="lk")))
     assert result.cached

@@ -45,7 +45,7 @@ def serve_stream(stream, workers: int, clients: int = 4, **kwargs):
     with ThreadPoolExecutor(max_workers=clients) as pool:
         futures = list(
             pool.map(
-                lambda r: server.submit(r.graph, r.spec, engine=r.engine, tag=r.tag),
+                server.submit,
                 stream,
             )
         )

@@ -17,8 +17,6 @@ cannot be promoted to the baseline (``perf baseline`` rejects them).
 
 from __future__ import annotations
 
-import glob
-import os
 import time
 
 import pytest
@@ -31,16 +29,11 @@ from repro.reduction.to_tsp import reduce_to_path_tsp
 @pytest.fixture(scope="session", autouse=True)
 def no_shm_leaks():
     """Session gate: offloaded serving must unlink every shm segment."""
-    def segments():
-        if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
-            return set()
-        return {
-            os.path.basename(p) for p in glob.glob("/dev/shm/repro_shm_*")
-        }
+    from repro.parallel.shm_pool import live_segment_names
 
-    before = segments()
+    before = set(live_segment_names())
     yield
-    leaked = sorted(segments() - before)
+    leaked = sorted(set(live_segment_names()) - before)
     assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 

@@ -22,6 +22,7 @@ from repro.labeling.spec import L21
 from repro.obs import REGISTRY, TRACER, span
 from repro.profiling import format_hotspots, profile_call
 from repro.reduction.solver import solve_labeling
+from repro.service.protocol import SolveRequest
 from repro.service.server import ConcurrentLabelingService
 
 
@@ -32,12 +33,12 @@ def serve_stream() -> ConcurrentLabelingService:
     try:
         with span("client", requests=6):
             futures = [
-                server.submit(
+                server.submit(SolveRequest(
                     base.copy() if i % 3 else
                     random_graph_with_diameter_at_most(14, 2, seed=i),
                     L21,
                     engine="lk",
-                )
+                ))
                 for i in range(6)
             ]
             for fut in futures:

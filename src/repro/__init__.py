@@ -25,6 +25,14 @@ from repro.errors import (
     InfeasibleInstanceError,
     SolverError,
     NotMetricError,
+    RequestValidationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    WorkerCrashedError,
+    ERROR_TABLE,
+    error_code,
+    error_payload,
+    http_status,
 )
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import diameter, all_pairs_distances
@@ -34,9 +42,10 @@ from repro.dynamic import DeltaEngine, full_apsp_refresh_count
 from repro.reduction.solver import LpTspSolver, SolveResult, solve_labeling
 from repro.reduction.to_tsp import reduce_to_path_tsp
 from repro.service.api import LabelingService, solve_record
-from repro.service.batch import BatchReport, BatchSolver, ServiceResult, SolveRequest
+from repro.service.batch import BatchReport, BatchSolver, ServiceResult
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.canonical import CanonicalForm, canonical_form
+from repro.service.protocol import SolveRequest, SolveResponse
 from repro.service.server import ConcurrentLabelingService, ServerStats
 from repro.service.shard import ShardedResultCache
 from repro.session import LabelingSession
@@ -47,13 +56,25 @@ from repro.tsp.portfolio import ENGINES, solve_path
 #: the whole measurement stack, which plain `import repro` users never pay.
 _PERF_EXPORTS = ("PerfRecord", "Trajectory", "run_perf_suite")
 
+#: Network-tier re-exports, also lazy: the HTTP server and load generator
+#: drag in asyncio machinery that library users never touch.
+_NET_EXPORTS = ("NetworkServer", "BackgroundServer", "run_load")
+
 
 def __getattr__(name: str):
-    """Lazily resolve the perf-subsystem re-exports (PEP 562)."""
+    """Lazily resolve the perf- and net-subsystem re-exports (PEP 562)."""
     if name in _PERF_EXPORTS:
         from repro import perf
 
         return getattr(perf, name)
+    if name in _NET_EXPORTS:
+        if name == "run_load":
+            from repro.harness.loadgen import run_load
+
+            return run_load
+        from repro import net
+
+        return getattr(net, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
@@ -77,6 +98,10 @@ __all__ = [
     "BatchSolver",
     "ServiceResult",
     "SolveRequest",
+    "SolveResponse",
+    "NetworkServer",
+    "BackgroundServer",
+    "run_load",
     "CacheStats",
     "ResultCache",
     "ShardedResultCache",
@@ -100,5 +125,13 @@ __all__ = [
     "InfeasibleInstanceError",
     "SolverError",
     "NotMetricError",
+    "RequestValidationError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "WorkerCrashedError",
+    "ERROR_TABLE",
+    "error_code",
+    "error_payload",
+    "http_status",
     "__version__",
 ]

@@ -43,7 +43,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import ReproError, error_code
 from repro.graphs import io as gio
 from repro.graphs.analysis import get_analysis
 from repro.harness.experiments import ALL_EXPERIMENTS, main as run_experiments
@@ -52,7 +52,7 @@ from repro.labeling.spec import LpSpec
 from repro.reduction.solver import solve_labeling
 from repro.reduction.to_tsp import reduce_to_path_tsp
 from repro.service.api import LabelingService, solve_record
-from repro.service.batch import SolveRequest
+from repro.service.protocol import SolveRequest
 from repro.tsp.portfolio import ENGINES
 
 
@@ -162,7 +162,9 @@ def _cmd_batch_stream(args: argparse.Namespace) -> int:
     try:
         for i, g in enumerate(gio.read_edge_list_stream(sys.stdin)):
             tag = f"stdin[{i}]"
-            fut = server.submit(g, spec, engine=args.engine, tag=tag)
+            fut = server.submit(
+                SolveRequest(graph=g, spec=spec, engine=args.engine, tag=tag)
+            )
             fut.add_done_callback(
                 lambda f, tag=tag, graph=g: done.put((tag, graph, f))
             )
@@ -458,8 +460,7 @@ def _metrics_workload() -> None:
     server = ConcurrentLabelingService(workers=2, offload=False)
     try:
         futures = [
-            server.submit(r.graph, r.spec, engine=r.engine, tag=r.tag)
-            for r in service_stream(SERVICE["mixed-small"])
+            server.submit(r) for r in service_stream(SERVICE["mixed-small"])
         ]
         wait(futures)
     finally:
@@ -467,8 +468,8 @@ def _metrics_workload() -> None:
 
     single = LabelingService(cache_shards=1)
     g = gen.random_graph_with_diameter_at_most(16, 2, seed=3)
-    single.submit(g, L21, engine="lk")       # miss + put
-    single.submit(g.copy(), L21, engine="lk")  # hit
+    single.submit(SolveRequest(g, L21, engine="lk"))       # miss + put
+    single.submit(SolveRequest(g.copy(), L21, engine="lk"))  # hit
 
     base, ops = churn_stream(DYNAMIC["churn-diam2-small"])
     churn_maintain(base, ops)
@@ -496,6 +497,101 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(json.dumps(registry.to_json()))
     else:
         sys.stdout.write(registry.render_prom())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the asyncio HTTP front end until SIGINT/SIGTERM.
+
+    Binds the listener, prints the resolved URL on stderr, and parks until
+    a termination signal arrives; then drains gracefully — in-flight
+    requests finish, late submissions get 503 — before exiting 0.
+    """
+    import asyncio
+    import signal
+
+    from repro.net.server import NetworkServer
+
+    async def _run() -> None:
+        server = NetworkServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            offload=args.offload,
+        )
+        await server.start()
+        print(f"serving on {server.url}", file=sys.stderr, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        await stop.wait()
+        print("draining...", file=sys.stderr, flush=True)
+        await server.shutdown(drain=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """``load``: open-loop ramp against a server; prints the saturation curve.
+
+    With ``--url`` the ramp targets a running server; without it the
+    command self-serves — it starts a private in-process server, loads it
+    over real sockets, and tears it down — which is what the CI
+    ``load-smoke`` job runs.  ``--fail-on-errors`` exits 1 when any
+    request failed, and ``--dump-metrics FILE`` scrapes the target's
+    ``/metrics`` after the ramp (the smoke job feeds that file to
+    ``tools/metrics_lint.py --check-exposition``).
+    """
+    from repro.harness.loadgen import run_load
+
+    rates = [float(r) for r in args.rate] if args.rate else [10.0, 25.0, 50.0]
+    background = None
+    if args.url is None:
+        from repro.net.server import BackgroundServer
+
+        background = BackgroundServer(
+            workers=args.workers, offload=args.offload
+        )
+        url = background.url
+        print(f"self-serving on {url}", file=sys.stderr, flush=True)
+    else:
+        url = args.url
+    try:
+        report = run_load(
+            url, rates, duration=args.duration, seed=args.seed
+        )
+        if args.dump_metrics:
+            from urllib.request import urlopen
+
+            with urlopen(f"{url}/metrics") as response:
+                Path(args.dump_metrics).write_bytes(response.read())
+    finally:
+        if background is not None:
+            background.shutdown(drain=True)
+    if args.json:
+        print(json.dumps(report.to_json()))
+    else:
+        print(f"{'rps':>8} {'sent':>6} {'err':>5} {'p50ms':>9} "
+              f"{'p95ms':>9} {'p99ms':>9} {'achieved':>9}")
+        for step in report.steps:
+            print(
+                f"{step.offered_rps:8.1f} {step.sent:6d} {step.errors:5d} "
+                f"{step.p50_ms:9.2f} {step.p95_ms:9.2f} {step.p99_ms:9.2f} "
+                f"{step.achieved_rps:9.1f}"
+            )
+    if args.fail_on_errors and report.total_errors:
+        print(
+            f"error: [overloaded] {report.total_errors} of "
+            f"{report.total_sent} requests failed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -628,6 +724,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     me.set_defaults(fn=_cmd_metrics)
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP front end (POST /solve, /batch; "
+             "GET /stats, /metrics, /healthz)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument("--port", type=int, default=8425,
+                    help="bind port (0 = ephemeral)")
+    sv.add_argument("--workers", type=int, default=4,
+                    help="labeling-service worker threads")
+    sv.add_argument("--queue-size", type=int, default=None,
+                    help="submission-queue high-water mark (backpressure)")
+    sv.add_argument(
+        "--offload", default=None, action="store_true",
+        help="force solve offload to the shared-memory worker pool "
+             "(default: auto-detect from effective CPU count)",
+    )
+    sv.add_argument(
+        "--no-offload", dest="offload", action="store_false",
+        help="force inline solves on the worker threads",
+    )
+    sv.set_defaults(fn=_cmd_serve)
+
+    lo = sub.add_parser(
+        "load",
+        help="open-loop load ramp against a server; prints the "
+             "saturation curve (p50/p95/p99, error rate, achieved rps)",
+    )
+    lo.add_argument(
+        "--url", default=None,
+        help="target base URL (e.g. http://127.0.0.1:8425); omitted = "
+             "self-serve an in-process server and load it",
+    )
+    lo.add_argument(
+        "--rate", action="append", default=None, metavar="RPS",
+        help="offered requests/second; repeat for a ramp "
+             "(default: 10 25 50)",
+    )
+    lo.add_argument("--duration", type=float, default=2.0,
+                    help="seconds to hold each rate step")
+    lo.add_argument("--seed", type=int, default=0,
+                    help="arrival-process and payload-pool seed")
+    lo.add_argument("--workers", type=int, default=2,
+                    help="self-serve mode: server worker threads")
+    lo.add_argument(
+        "--no-offload", dest="offload", action="store_false", default=None,
+        help="self-serve mode: force inline solves",
+    )
+    lo.add_argument("--json", action="store_true",
+                    help="emit the full report as one JSON document")
+    lo.add_argument(
+        "--fail-on-errors", action="store_true",
+        help="exit 1 if any request failed (the CI load-smoke contract)",
+    )
+    lo.add_argument(
+        "--dump-metrics", default=None, metavar="FILE",
+        help="after the ramp, scrape the target's /metrics into FILE",
+    )
+    lo.set_defaults(fn=_cmd_load)
+
     pf = sub.add_parser(
         "perf",
         help="perf trajectory: record BENCH_*.json and gate against the baseline",
@@ -753,7 +909,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"trace: {path}", file=sys.stderr)
         return code
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # same vocabulary as the server's JSON error payloads: the stable
+        # machine-readable code from the errors.ERROR_TABLE contract
+        print(f"error: [{error_code(exc)}] {exc}", file=sys.stderr)
         return 2
 
 

@@ -59,3 +59,67 @@ class ServiceOverloadedError(ReproError):
     Raised only when backpressure is configured to reject (``block=False``);
     blocking submissions wait for queue space instead.
     """
+
+
+class RequestValidationError(ReproError):
+    """A wire payload failed schema validation before reaching a solver.
+
+    Raised by :meth:`repro.service.protocol.SolveRequest.from_json` (and the
+    response counterpart) on any malformed input, so the network layer maps
+    every bad payload to a clean HTTP 400 instead of a stack trace.
+    """
+
+
+#: The single error contract shared by the CLI and the network server:
+#: every :class:`ReproError` subclass maps to a stable machine-readable
+#: ``code`` and the HTTP status the server answers with.  Lookup walks the
+#: exception's MRO (:func:`error_code`), so new subclasses inherit their
+#: parent's row until given one of their own.  The CLI prints the code in
+#: its ``error: [code] message`` exit-2 line; the server puts the same code
+#: in its JSON error payload — one vocabulary, two transports.
+ERROR_TABLE: dict[type, tuple[str, int]] = {
+    ReproError: ("internal", 500),
+    GraphError: ("bad_graph", 400),
+    DisconnectedGraphError: ("disconnected_graph", 400),
+    ReductionNotApplicableError: ("not_applicable", 422),
+    InfeasibleInstanceError: ("infeasible_instance", 422),
+    SolverError: ("solver_error", 500),
+    NotMetricError: ("not_metric", 500),
+    ServiceClosedError: ("service_closed", 503),
+    WorkerCrashedError: ("worker_crashed", 503),
+    ServiceOverloadedError: ("overloaded", 429),
+    RequestValidationError: ("invalid_request", 400),
+}
+
+
+def _table_row(exc: ReproError | type) -> tuple[str, int]:
+    """The ``(code, status)`` row for an error, resolved through the MRO."""
+    cls = exc if isinstance(exc, type) else type(exc)
+    for base in cls.__mro__:
+        if base in ERROR_TABLE:
+            return ERROR_TABLE[base]
+    return ERROR_TABLE[ReproError]
+
+
+def error_code(exc: ReproError | type) -> str:
+    """The stable machine-readable code for an error (class or instance).
+
+    >>> error_code(ServiceOverloadedError("queue full"))
+    'overloaded'
+    """
+    return _table_row(exc)[0]
+
+
+def http_status(exc: ReproError | type) -> int:
+    """The HTTP status the network server answers this error with.
+
+    >>> http_status(RequestValidationError)
+    400
+    """
+    return _table_row(exc)[1]
+
+
+def error_payload(exc: ReproError) -> dict:
+    """The JSON error body the server sends: ``{"error", "code", "status"}``."""
+    code, status = _table_row(exc)
+    return {"error": str(exc), "code": code, "status": status}

@@ -1,7 +1,9 @@
-"""Experiment harness: workloads, timed runs, tables, the E1–E10 suite."""
+"""Experiment harness: workloads, timed runs, tables, the E1–E10 suite,
+and the open-loop network load generator (:mod:`repro.harness.loadgen`)."""
 
 from repro.harness.workloads import WORKLOADS, Workload, make_workload
 from repro.harness.runner import EngineRun, run_engines, time_call
+from repro.harness.loadgen import LoadReport, StepReport, run_load
 from repro.harness.tables import render_table, render_markdown
 from repro.harness import experiments
 
@@ -12,6 +14,9 @@ __all__ = [
     "EngineRun",
     "run_engines",
     "time_call",
+    "LoadReport",
+    "StepReport",
+    "run_load",
     "render_table",
     "render_markdown",
     "experiments",

@@ -1,0 +1,255 @@
+"""Open-loop load generator for the :mod:`repro.net` HTTP front end.
+
+The generator is **open-loop**: arrivals follow a seeded Poisson process
+(exponential inter-arrival gaps) and each request is fired as its own
+asyncio task the moment its arrival time comes due — the sender never
+waits for a response before sending the next request.  This is the honest
+way to measure a queueing system: a closed-loop client (send, wait, send)
+self-throttles exactly when the server saturates, hiding the queueing
+delay that real independent users would experience.  Here, when the
+offered rate exceeds capacity, latency and the error rate climb in the
+recorded numbers instead of silently flattening the offered load.
+
+A run sweeps a list of offered rates (a ramp), holds each for a fixed
+duration, and emits one :class:`StepReport` per step — p50/p95/p99
+latency, achieved rps, error rate — which together form the saturation
+curve the ``network_service`` perf scenario records into
+``BENCH_<k>.json``.
+
+Every request opens its own TCP connection and POSTs one pre-serialized
+:class:`~repro.service.protocol.SolveRequest` to ``/solve``, so each
+sample pays the full wire cost.  Payloads cycle through a small seeded
+pool of distinct instances: the first lap is all cold solves, after which
+the steady state exercises the submit → canonicalize → cache-hit path —
+the regime a warm production server lives in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import urlparse
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs import generators as gen
+from repro.labeling.spec import L21
+from repro.net.httpio import read_response, write_request
+from repro.service.protocol import SolveRequest
+
+#: Per-request client timeout (seconds); a timed-out request is an error.
+REQUEST_TIMEOUT = 30.0
+
+#: Settle gap between ramp steps, letting the previous step's stragglers
+#: clear the server queue so steps measure their own offered rate.
+STEP_GAP_SECONDS = 0.1
+
+
+def default_payloads(
+    count: int = 4, n: int = 12, engine: str = "lk", seed: int = 0
+) -> list[bytes]:
+    """A seeded pool of pre-serialized ``/solve`` bodies.
+
+    ``count`` distinct diameter-2 instances of ``n`` vertices — small
+    enough that the solve itself is cheap, distinct enough that the first
+    lap through the pool is all cache misses.
+    """
+    payloads = []
+    for i in range(count):
+        graph = gen.random_graph_with_diameter_at_most(n, 2, seed=seed + i)
+        request = SolveRequest(graph, L21, engine=engine, tag=f"load[{i}]")
+        payloads.append(json.dumps(request.to_json()).encode("utf-8"))
+    return payloads
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Measured outcome of one offered-rate step."""
+
+    offered_rps: float
+    duration: float              # intended send window (seconds)
+    sent: int
+    completed: int               # HTTP 200 responses
+    errors: int                  # non-200 responses, timeouts, socket errors
+    achieved_rps: float          # completed / wall (wall includes tail drain)
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    @property
+    def error_rate(self) -> float:
+        """Errors as a fraction of requests sent."""
+        return self.errors / self.sent if self.sent else 0.0
+
+    def to_json(self) -> dict:
+        """JSON row for reports and the perf trajectory."""
+        return {
+            "offered_rps": self.offered_rps,
+            "duration": self.duration,
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 4),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The whole ramp: one :class:`StepReport` per offered rate."""
+
+    steps: tuple[StepReport, ...]
+
+    @property
+    def total_sent(self) -> int:
+        """Requests sent across every step."""
+        return sum(s.sent for s in self.steps)
+
+    @property
+    def total_errors(self) -> int:
+        """Failed requests across every step."""
+        return sum(s.errors for s in self.steps)
+
+    def to_json(self) -> dict:
+        """JSON document (the ``repro-label load --json`` output)."""
+        return {
+            "steps": [s.to_json() for s in self.steps],
+            "total_sent": self.total_sent,
+            "total_errors": self.total_errors,
+        }
+
+
+async def _exchange(host: str, port: int, payload: bytes) -> int:
+    """One fresh-connection ``/solve`` exchange; returns the HTTP status."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        write_request(writer, "POST", "/solve", payload)
+        await writer.drain()
+        response = await read_response(reader)
+    finally:
+        writer.close()
+    return response.status
+
+
+async def _one_request(
+    host: str, port: int, payload: bytes, timeout: float
+) -> tuple[bool, float]:
+    """Fire one ``/solve`` over a fresh connection; ``(ok, latency_s)``."""
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    try:
+        status = await asyncio.wait_for(
+            _exchange(host, port, payload), timeout=timeout
+        )
+        return status == 200, loop.time() - t0
+    except (ReproError, ConnectionError, OSError, TimeoutError,
+            asyncio.TimeoutError, asyncio.IncompleteReadError):
+        return False, loop.time() - t0
+
+
+async def _run_step(
+    host: str,
+    port: int,
+    rate: float,
+    duration: float,
+    payloads: list[bytes],
+    rng: np.random.Generator,
+    timeout: float,
+) -> StepReport:
+    """Hold one offered rate for ``duration`` seconds; gather every sample."""
+    loop = asyncio.get_running_loop()
+    tasks: list[asyncio.Task] = []
+    t_start = loop.time()
+    deadline = t_start + duration
+    t_next = t_start
+    index = 0
+    while t_next < deadline:
+        delay = t_next - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _one_request(
+                    host, port, payloads[index % len(payloads)], timeout
+                )
+            )
+        )
+        index += 1
+        # Poisson arrivals: exponential gaps at the offered rate.  The next
+        # send time advances by the *schedule*, not by when this iteration
+        # actually ran, so a slow response path cannot throttle the sender.
+        t_next += float(rng.exponential(1.0 / rate))
+    outcomes = await asyncio.gather(*tasks)
+    wall = loop.time() - t_start         # includes the tail drain
+    latencies = [sec for ok, sec in outcomes if ok]
+    errors = sum(1 for ok, _ in outcomes if not ok)
+    lat_ms = np.asarray(latencies) * 1e3
+    return StepReport(
+        offered_rps=rate,
+        duration=duration,
+        sent=len(tasks),
+        completed=len(latencies),
+        errors=errors,
+        achieved_rps=len(latencies) / wall if wall > 0 else 0.0,
+        p50_ms=float(np.percentile(lat_ms, 50)) if latencies else 0.0,
+        p95_ms=float(np.percentile(lat_ms, 95)) if latencies else 0.0,
+        p99_ms=float(np.percentile(lat_ms, 99)) if latencies else 0.0,
+    )
+
+
+async def run_ramp(
+    host: str,
+    port: int,
+    rates: list[float],
+    duration: float = 2.0,
+    payloads: list[bytes] | None = None,
+    seed: int = 0,
+    timeout: float = REQUEST_TIMEOUT,
+) -> LoadReport:
+    """Sweep the offered rates in order; one :class:`StepReport` each."""
+    if not rates or any(r <= 0 for r in rates):
+        raise ReproError(f"rates must be positive, got {rates}")
+    if payloads is None:
+        payloads = default_payloads(seed=seed)
+    rng = np.random.default_rng(seed)
+    steps = []
+    for rate in rates:
+        steps.append(
+            await _run_step(host, port, rate, duration, payloads, rng, timeout)
+        )
+        await asyncio.sleep(STEP_GAP_SECONDS)
+    return LoadReport(steps=tuple(steps))
+
+
+def run_load(
+    url: str,
+    rates: list[float],
+    duration: float = 2.0,
+    payloads: list[bytes] | None = None,
+    seed: int = 0,
+    timeout: float = REQUEST_TIMEOUT,
+) -> LoadReport:
+    """Synchronous entry point: ramp ``url`` (e.g. ``http://127.0.0.1:8425``).
+
+    Runs the whole sweep on a private event loop; safe to call from any
+    thread that is not already inside asyncio.
+    """
+    parsed = urlparse(url if "//" in url else f"http://{url}")
+    if parsed.hostname is None or parsed.port is None:
+        raise ReproError(f"load target needs host and port, got {url!r}")
+    return asyncio.run(
+        run_ramp(
+            parsed.hostname,
+            parsed.port,
+            rates,
+            duration=duration,
+            payloads=payloads,
+            seed=seed,
+            timeout=timeout,
+        )
+    )

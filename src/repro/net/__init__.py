@@ -1,0 +1,10 @@
+"""Network tier: the asyncio HTTP front end over the serving stack.
+
+See :mod:`repro.net.server` for the endpoints and shutdown semantics and
+:mod:`repro.net.httpio` for the shared HTTP framing (used by both the
+server and the open-loop load generator's client).
+"""
+
+from repro.net.server import BackgroundServer, NetworkServer, PROM_CONTENT_TYPE
+
+__all__ = ["BackgroundServer", "NetworkServer", "PROM_CONTENT_TYPE"]

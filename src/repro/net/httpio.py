@@ -1,0 +1,188 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams.
+
+The standard library ships an asyncio TCP layer but no asyncio HTTP layer,
+and this project deliberately adds no third-party server framework — the
+wire protocol is five fixed routes speaking JSON/NDJSON, so the ~150 lines
+here (request/response framing, keep-alive, content-length bodies) are the
+whole story.  Both sides of the wire share this module: the
+:mod:`repro.net.server` front end parses requests and writes responses,
+the :mod:`repro.harness.loadgen` client writes requests and parses
+responses — one framing implementation, tested from both ends.
+
+Framing rules kept on purpose (the subset the protocol needs):
+
+- request bodies require ``Content-Length`` (no chunked uploads);
+- responses either carry ``Content-Length`` or are delimited by connection
+  close (the streaming ``/batch`` NDJSON reply uses the latter);
+- header names are case-insensitive (normalized to lowercase);
+- oversized bodies fail fast with :class:`RequestValidationError` before
+  any allocation of the body buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import RequestValidationError
+
+#: Largest request body accepted (bytes).  A batch of thousands of small
+#: graphs fits comfortably; anything larger is a malformed or hostile
+#: client and is rejected before the body is read.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: ``StreamReader`` line limit — a single header line never needs more.
+LINE_LIMIT = 64 * 1024
+
+#: Reason phrases for every status the protocol emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpMessage:
+    """One parsed HTTP message (request or response)."""
+
+    start: tuple[str, str, str]          # request: (method, path, version)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def method(self) -> str:
+        """Request method (``GET``/``POST``)."""
+        return self.start[0]
+
+    @property
+    def path(self) -> str:
+        """Request path (query strings are not part of the protocol)."""
+        return self.start[1]
+
+    @property
+    def status(self) -> int:
+        """Response status code (only meaningful for responses)."""
+        return int(self.start[1])
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    """Read header lines up to the blank separator; lowercase the names."""
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str], max_body: int
+) -> bytes:
+    """Read a ``Content-Length`` body (empty when the header is absent)."""
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise RequestValidationError(f"bad Content-Length: {raw!r}") from None
+    if length < 0 or length > max_body:
+        raise RequestValidationError(
+            f"body of {length} bytes exceeds the {max_body}-byte limit"
+        )
+    return (await reader.readexactly(length)) if length else b""
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> HttpMessage | None:
+    """Parse one request off the stream; ``None`` on a cleanly closed peer."""
+    line = await reader.readline()
+    if not line.strip():
+        return None                      # peer closed (or sent a bare CRLF)
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise RequestValidationError(f"malformed request line: {line!r}")
+    method, path, version = parts
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers, max_body)
+    return HttpMessage(start=(method, path, version), headers=headers, body=body)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpMessage:
+    """Parse one response; a body without ``Content-Length`` reads to EOF."""
+    line = await reader.readline()
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise RequestValidationError(f"malformed status line: {line!r}")
+    headers = await _read_headers(reader)
+    if "content-length" in headers:
+        body = await _read_body(reader, headers, MAX_BODY_BYTES)
+    else:
+        body = await reader.read()       # close-delimited (the /batch stream)
+    return HttpMessage(
+        start=(parts[0], parts[1], parts[2] if len(parts) > 2 else ""),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_head(
+    status: int,
+    content_type: str = "application/json",
+    content_length: int | None = None,
+    close: bool = False,
+) -> bytes:
+    """Serialize a response status line + headers (body not included)."""
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    if close:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    close: bool = False,
+) -> None:
+    """Queue one complete content-length response on the writer."""
+    writer.write(
+        response_head(
+            status, content_type, content_length=len(body), close=close
+        )
+        + body
+    )
+
+
+def write_request(
+    writer: asyncio.StreamWriter, method: str, path: str, body: bytes = b""
+) -> None:
+    """Queue one client request (always ``Connection: close``).
+
+    The load generator opens a fresh connection per request — the honest
+    accounting for an open-loop client, where every arrival pays the full
+    wire cost — so the request advertises the close up front.
+    """
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: repro\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )

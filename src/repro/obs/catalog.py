@@ -161,6 +161,21 @@ CATALOG: dict[str, tuple[str, str]] = {
         HISTOGRAM,
         "Engine solve wall time for cold requests (inline or offloaded).",
     ),
+    # ---- network front end --------------------------------------------
+    "repro_http_requests_total": (
+        COUNTER,
+        "HTTP requests served by the network front end, by endpoint and "
+        "status (labels: endpoint, status).",
+    ),
+    "repro_http_request_seconds": (
+        HISTOGRAM,
+        "Wire-level request latency: first byte of the request line to "
+        "response flushed, including queueing inside the labeling service.",
+    ),
+    "repro_http_open_connections": (
+        GAUGE,
+        "Currently open client connections on the network front end.",
+    ),
 }
 
 

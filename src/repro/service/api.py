@@ -23,13 +23,9 @@ from pathlib import Path
 
 from repro.graphs.graph import Graph
 from repro.labeling.spec import LpSpec
-from repro.service.batch import (
-    BatchReport,
-    BatchSolver,
-    ServiceResult,
-    SolveRequest,
-)
+from repro.service.batch import BatchReport, BatchSolver, ServiceResult
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.protocol import SolveRequest, SolveResponse, as_request
 from repro.service.shard import DEFAULT_SHARDS, ShardedResultCache
 
 
@@ -39,11 +35,12 @@ class LabelingService:
     >>> from repro.graphs.generators import cycle_graph
     >>> from repro.graphs.operations import relabel
     >>> from repro.labeling.spec import L21
+    >>> from repro.service.protocol import SolveRequest
     >>> svc = LabelingService()
-    >>> svc.submit(cycle_graph(5), L21, engine="held_karp").span
+    >>> svc.submit(SolveRequest(cycle_graph(5), L21, engine="held_karp")).span
     4
-    >>> svc.submit(relabel(cycle_graph(5), [4, 2, 0, 3, 1]), L21,
-    ...            engine="held_karp").cached
+    >>> svc.submit(SolveRequest(relabel(cycle_graph(5), [4, 2, 0, 3, 1]), L21,
+    ...            engine="held_karp")).cached
     True
     """
 
@@ -69,23 +66,27 @@ class LabelingService:
     # ------------------------------------------------------------------
     def submit(
         self,
-        graph: Graph,
-        spec: LpSpec,
+        request: SolveRequest | Graph,
+        spec: LpSpec | None = None,
         engine: str = "auto",
         tag: str | None = None,
         analysis=None,
-    ) -> ServiceResult:
-        """Solve (or recall) one request.
+    ) -> SolveResponse:
+        """Solve (or recall) one :class:`SolveRequest`.
 
-        ``analysis`` optionally forwards a pre-computed
-        :class:`~repro.graphs.analysis.GraphAnalysis` for ``graph`` (a
+        The request optionally carries a pre-computed
+        :class:`~repro.graphs.analysis.GraphAnalysis` for its graph (a
         session's delta-repaired oracle), so the canonical cache key is
         derived without recomputing distances.
+
+        The legacy ``submit(graph, spec, engine=..., tag=..., analysis=...)``
+        signature still works (a :class:`DeprecationWarning` points at the
+        call site); new code should build the request object.
         """
-        results, _report = self.solver.solve_batch(
-            [SolveRequest(graph=graph, spec=spec, engine=engine, tag=tag,
-                          analysis=analysis)]
+        request = as_request(
+            request, spec, engine=engine, tag=tag, analysis=analysis
         )
+        results, _report = self.solver.solve_batch([request])
         return results[0]
 
     def submit_many(

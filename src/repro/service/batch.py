@@ -24,7 +24,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.graphs.analysis import GraphAnalysis
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
@@ -36,6 +35,12 @@ from repro.service.canonical import (
     canonical_form,
     canonical_instance,
 )
+from repro.service.protocol import SolveRequest, SolveResponse
+
+#: Historical name for :class:`~repro.service.protocol.SolveResponse` —
+#: the dataclass moved to :mod:`repro.service.protocol` when it became the
+#: wire schema too.  Every existing ``ServiceResult`` import keeps working.
+ServiceResult = SolveResponse
 
 #: Instances with at most this many vertices are cheap enough that pool
 #: pickling dominates; they are shipped in chunks.  Larger instances are
@@ -44,40 +49,6 @@ SMALL_INSTANCE_N = 40
 
 #: Chunk size for small-instance jobs.
 SMALL_CHUNK = 8
-
-
-@dataclass(frozen=True)
-class SolveRequest:
-    """One labeling request in a batch stream."""
-
-    graph: Graph
-    spec: LpSpec
-    engine: str = "auto"
-    tag: str | None = None       # caller's correlation id (file name, ...)
-    #: Optional pre-computed oracle for ``graph`` (e.g. a session's
-    #: delta-repaired one); forwarded into canonicalization, where a stale
-    #: or foreign analysis is rejected loudly.  Never shipped to pool
-    #: workers — only the key derivation on this side reads it.
-    analysis: GraphAnalysis | None = None
-
-
-@dataclass(frozen=True)
-class ServiceResult:
-    """The service's answer to one request.
-
-    Unlike :class:`repro.reduction.solver.SolveResult` this carries no
-    reduced instance or tour — cache hits never materialize them — but it
-    keeps the fields mutate-and-resolve loops and reports consume.
-    """
-
-    labeling: Labeling
-    span: int
-    engine: str                  # resolved engine that produced the labeling
-    exact: bool
-    cached: bool                 # True when served from the cache
-    key: str                     # canonical cache key of the request
-    seconds: float               # solve wall time (0.0 for cache hits)
-    tag: str | None = None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,228 @@
+"""The service protocol: one typed request/response pair, in-process and wire.
+
+:class:`SolveRequest` and :class:`SolveResponse` are the *single* schema the
+whole serving surface speaks.  In process, :meth:`LabelingService.submit
+<repro.service.api.LabelingService.submit>` and
+:meth:`ConcurrentLabelingService.submit
+<repro.service.server.ConcurrentLabelingService.submit>` accept a
+``SolveRequest`` and answer with a ``SolveResponse``; on the wire, the
+:mod:`repro.net` HTTP server speaks exactly ``SolveRequest.to_json()`` /
+``SolveResponse.to_json()`` as its JSON bodies.  Both directions are
+lossless (``from_json(to_json(x))`` reconstructs an equal object), so a
+request serialized by one client, replayed from a log, or round-tripped
+through the NDJSON batch endpoint always means the same instance.
+
+The only field that does not cross the wire is ``SolveRequest.analysis`` —
+a pre-computed distance oracle is a same-process optimization; a remote
+peer could neither serialize nor trust one.
+
+Malformed wire payloads raise :class:`~repro.errors.RequestValidationError`,
+which the error table in :mod:`repro.errors` maps to HTTP 400.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+
+from repro.errors import ReproError, RequestValidationError
+from repro.graphs.analysis import GraphAnalysis
+from repro.graphs.graph import Graph
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import LpSpec
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One labeling request — the unit both service flavours accept."""
+
+    graph: Graph
+    spec: LpSpec
+    engine: str = "auto"
+    tag: str | None = None       # caller's correlation id (file name, ...)
+    #: Optional pre-computed oracle for ``graph`` (e.g. a session's
+    #: delta-repaired one); forwarded into canonicalization, where a stale
+    #: or foreign analysis is rejected loudly.  Never serialized and never
+    #: shipped to pool workers — only key derivation on this side reads it.
+    analysis: GraphAnalysis | None = None
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The wire form: plain JSON-ready dict (``analysis`` excluded).
+
+        >>> SolveRequest(Graph(3, [(0, 1), (1, 2)]), LpSpec((2, 1))).to_json()
+        {'n': 3, 'edges': [[0, 1], [1, 2]], 'p': [2, 1], 'engine': 'auto', 'tag': None}
+        """
+        return {
+            "n": self.graph.n,
+            "edges": [[u, v] for u, v in sorted(self.graph.edges())],
+            "p": list(self.spec.p),
+            "engine": self.engine,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SolveRequest":
+        """Parse (and validate) one wire payload back into a request.
+
+        Raises :class:`RequestValidationError` — never ``KeyError`` or
+        ``TypeError`` — on any malformed input, so the server can map every
+        bad payload to a clean HTTP 400.
+        """
+        if not isinstance(payload, dict):
+            raise RequestValidationError(
+                f"request must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"n", "edges", "p", "engine", "tag"}
+        if unknown:
+            raise RequestValidationError(
+                f"unknown request fields: {sorted(unknown)}"
+            )
+        for field_name in ("n", "edges", "p"):
+            if field_name not in payload:
+                raise RequestValidationError(
+                    f"request is missing required field {field_name!r}"
+                )
+        n = payload["n"]
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise RequestValidationError(f"'n' must be a non-negative int, got {n!r}")
+        edges = payload["edges"]
+        if not isinstance(edges, list) or not all(
+            isinstance(e, (list, tuple))
+            and len(e) == 2
+            and all(isinstance(x, int) and not isinstance(x, bool) for x in e)
+            for e in edges
+        ):
+            raise RequestValidationError("'edges' must be a list of [u, v] int pairs")
+        p = payload["p"]
+        if (
+            not isinstance(p, list)
+            or not p
+            or not all(
+                isinstance(x, int) and not isinstance(x, bool) and x >= 1
+                for x in p
+            )
+        ):
+            raise RequestValidationError("'p' must be a non-empty list of ints >= 1")
+        engine = payload.get("engine", "auto")
+        if not isinstance(engine, str):
+            raise RequestValidationError(f"'engine' must be a string, got {engine!r}")
+        tag = payload.get("tag")
+        if tag is not None and not isinstance(tag, str):
+            raise RequestValidationError(f"'tag' must be a string or null, got {tag!r}")
+        try:
+            graph = Graph(n, [(u, v) for u, v in edges])
+            spec = LpSpec(tuple(p))
+        except ReproError as exc:
+            raise RequestValidationError(str(exc)) from exc
+        return cls(graph=graph, spec=spec, engine=engine, tag=tag)
+
+    @classmethod
+    def from_json_line(cls, line: str | bytes) -> "SolveRequest":
+        """Parse one NDJSON line (the ``/batch`` stream unit)."""
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise RequestValidationError(f"invalid JSON: {exc}") from exc
+        return cls.from_json(payload)
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """The service's answer to one :class:`SolveRequest`.
+
+    Unlike :class:`repro.reduction.solver.SolveResult` this carries no
+    reduced instance or tour — cache hits never materialize them — but it
+    keeps the fields mutate-and-resolve loops and reports consume, and it
+    serializes losslessly for the wire.
+    """
+
+    labeling: Labeling
+    span: int
+    engine: str                  # resolved engine that produced the labeling
+    exact: bool
+    cached: bool                 # True when served from the cache
+    key: str                     # canonical cache key of the request
+    seconds: float               # solve wall time (0.0 for cache hits)
+    tag: str | None = None
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The wire form: labels expanded to a plain list."""
+        return {
+            "labels": list(self.labeling.labels),
+            "span": self.span,
+            "engine": self.engine,
+            "exact": self.exact,
+            "cached": self.cached,
+            "key": self.key,
+            "seconds": self.seconds,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SolveResponse":
+        """Reconstruct a response from its wire form (lossless inverse)."""
+        if not isinstance(payload, dict):
+            raise RequestValidationError(
+                f"response must be a JSON object, got {type(payload).__name__}"
+            )
+        try:
+            labels = payload["labels"]
+            if not isinstance(labels, list):
+                raise RequestValidationError("'labels' must be a list of ints")
+            return cls(
+                labeling=Labeling.from_sequence(labels),
+                span=int(payload["span"]),
+                engine=str(payload["engine"]),
+                exact=bool(payload["exact"]),
+                cached=bool(payload["cached"]),
+                key=str(payload["key"]),
+                seconds=float(payload["seconds"]),
+                tag=payload.get("tag"),
+            )
+        except RequestValidationError:
+            raise
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            raise RequestValidationError(
+                f"malformed SolveResponse payload: {exc}"
+            ) from exc
+
+
+def as_request(
+    request,
+    spec: LpSpec | None = None,
+    *,
+    engine: str = "auto",
+    tag: str | None = None,
+    analysis: GraphAnalysis | None = None,
+) -> SolveRequest:
+    """Normalize a ``submit``-style call into one :class:`SolveRequest`.
+
+    The unified protocol form passes a :class:`SolveRequest` as the sole
+    positional argument; the legacy form — ``submit(graph, spec, engine=...,
+    tag=..., analysis=...)`` — still works through this shim but emits a
+    :class:`DeprecationWarning`.  ``stacklevel=3`` points the warning at the
+    caller of ``submit``, not at the shim or ``submit`` itself.
+    """
+    if isinstance(request, SolveRequest):
+        if spec is not None:
+            raise ReproError(
+                "submit(SolveRequest, ...) takes no separate spec — the "
+                "request already carries one"
+            )
+        return request
+    if spec is None:
+        raise ReproError(
+            "submit() needs a SolveRequest, or the legacy (graph, spec) pair"
+        )
+    warnings.warn(
+        "submit(graph, spec, ...) is deprecated; pass a SolveRequest "
+        "(from repro.service.protocol) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolveRequest(
+        graph=request, spec=spec, engine=engine, tag=tag, analysis=analysis
+    )

@@ -35,8 +35,10 @@ adds the serving layer the ROADMAP's traffic target needs:
 
 >>> from repro.graphs.generators import cycle_graph
 >>> from repro.labeling.spec import L21
+>>> from repro.service.protocol import SolveRequest
 >>> with ConcurrentLabelingService(workers=2) as server:
-...     span = server.submit(cycle_graph(5), L21, engine="held_karp").result().span
+...     req = SolveRequest(cycle_graph(5), L21, engine="held_karp")
+...     span = server.submit(req).result().span
 >>> span
 4
 """
@@ -62,11 +64,8 @@ from repro.obs.trace import TRACER, SpanContext
 from repro.parallel.pool import effective_cpu_count
 from repro.parallel.shm_pool import ShmArena, ShmDescriptor, ShmWorkerPool
 from repro.service.api import LabelingService
-from repro.service.batch import (
-    SolveRequest,
-    _answer,
-    _composed_key,
-)
+from repro.service.batch import _answer, _composed_key
+from repro.service.protocol import SolveRequest, as_request
 from repro.service.cache import CachedSolve
 from repro.service.canonical import (
     CanonicalForm,
@@ -356,18 +355,20 @@ class ConcurrentLabelingService:
     # ------------------------------------------------------------------
     def submit(
         self,
-        graph: Graph,
-        spec: LpSpec,
+        request: SolveRequest | Graph,
+        spec: LpSpec | None = None,
         engine: str = "auto",
         tag: str | None = None,
         analysis: GraphAnalysis | None = None,
         block: bool | None = None,
         timeout: float | None = None,
     ) -> Future:
-        """Enqueue one request; returns a future of its ``ServiceResult``.
+        """Enqueue one request; returns a future of its ``SolveResponse``.
 
-        The canonical key is derived on the calling thread (``analysis``
-        forwards a pre-computed oracle exactly like
+        Takes one :class:`SolveRequest` (the legacy ``submit(graph, spec,
+        ...)`` signature still works behind a :class:`DeprecationWarning`).
+        The canonical key is derived on the calling thread (the request's
+        ``analysis`` forwards a pre-computed oracle exactly like
         :meth:`LabelingService.submit`); everything after that happens on
         the worker pool.  Identical in-flight requests coalesce onto one
         solve, but each caller's future resolves in its *own* vertex
@@ -379,10 +380,12 @@ class ConcurrentLabelingService:
         :class:`ServiceOverloadedError`.
         """
         t_submit = time.perf_counter()
-        request = SolveRequest(
-            graph=graph, spec=spec, engine=engine, tag=tag, analysis=analysis
+        request = as_request(
+            request, spec, engine=engine, tag=tag, analysis=analysis
         )
-        form = canonical_form(graph, spec, analysis=analysis)
+        form = canonical_form(
+            request.graph, request.spec, analysis=request.analysis
+        )
         key = _composed_key(form, request)
         block = self.block if block is None else block
 
@@ -456,15 +459,15 @@ class ConcurrentLabelingService:
 
     def solve(
         self,
-        graph: Graph,
-        spec: LpSpec,
+        request: SolveRequest | Graph,
+        spec: LpSpec | None = None,
         engine: str = "auto",
         tag: str | None = None,
         analysis: GraphAnalysis | None = None,
     ):
         """Blocking convenience: ``submit(...).result()``."""
         return self.submit(
-            graph, spec, engine=engine, tag=tag, analysis=analysis
+            request, spec, engine=engine, tag=tag, analysis=analysis
         ).result()
 
     # ------------------------------------------------------------------

@@ -227,8 +227,15 @@ class LabelingSession:
         if self.service is not None:
             # forward the repaired oracle explicitly: the canonical cache
             # key is derived from the same matrix the delta engine repaired
+            from repro.service.protocol import SolveRequest
+
             result = self.service.submit(
-                self._graph, self.spec, engine=self.engine, analysis=analysis
+                SolveRequest(
+                    graph=self._graph,
+                    spec=self.spec,
+                    engine=self.engine,
+                    analysis=analysis,
+                )
             )
             if isinstance(result, Future):
                 # a ConcurrentLabelingService answers with a future; the

@@ -2,24 +2,14 @@
 
 from __future__ import annotations
 
-import glob
 import itertools
-import os
 
 import numpy as np
 import pytest
 
 from repro.graphs.graph import Graph
 from repro.graphs import generators as gen
-
-
-def repro_shm_segments() -> list[str]:
-    """Names of this package's shared-memory segments currently in /dev/shm."""
-    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux host
-        return []
-    return sorted(
-        os.path.basename(p) for p in glob.glob("/dev/shm/repro_shm_*")
-    )
+from repro.parallel.shm_pool import live_segment_names as repro_shm_segments
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -1,0 +1,247 @@
+"""Tests for the unified service protocol (`repro.service.protocol`).
+
+Covers the lossless wire round-trip for :class:`SolveRequest` /
+:class:`SolveResponse` (seeded and property-based), the validation
+behaviour on malformed payloads, the consolidated error table in
+:mod:`repro.errors`, and the deprecation shims that keep the legacy
+``submit(graph, spec, ...)`` signatures working on both service flavours.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import (
+    ERROR_TABLE,
+    ReproError,
+    RequestValidationError,
+    ServiceOverloadedError,
+    error_code,
+    error_payload,
+    http_status,
+)
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import L21, LpSpec
+from repro.service.api import LabelingService
+from repro.service.batch import ServiceResult
+from repro.service.protocol import SolveRequest, SolveResponse, as_request
+from repro.service.server import ConcurrentLabelingService
+
+ENGINE = "nearest_neighbor"
+
+
+# ---------------------------------------------------------------------------
+# wire round-trips
+# ---------------------------------------------------------------------------
+def test_request_roundtrip_seeded_graphs():
+    for seed in range(6):
+        g = gen.random_graph_with_diameter_at_most(10 + seed, 2, seed=seed)
+        req = SolveRequest(g, L21, engine="lk", tag=f"s{seed}")
+        back = SolveRequest.from_json(req.to_json())
+        assert back.graph == req.graph
+        assert back.spec == req.spec
+        assert back.engine == req.engine and back.tag == req.tag
+        # the wire survives an actual JSON encode/decode too
+        again = SolveRequest.from_json(json.loads(json.dumps(req.to_json())))
+        assert again.graph == req.graph and again.spec == req.spec
+
+
+def test_request_roundtrip_preserves_canonical_key():
+    from repro.service.batch import _composed_key
+    from repro.service.canonical import canonical_form
+
+    g = gen.random_graph_with_diameter_at_most(14, 2, seed=3)
+    req = SolveRequest(g, L21, engine="lk")
+    back = SolveRequest.from_json(req.to_json())
+    key = _composed_key(canonical_form(req.graph, req.spec), req)
+    key_back = _composed_key(canonical_form(back.graph, back.spec), back)
+    assert key == key_back, "wire round-trip must hit the same cache entry"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    edge_bits=st.integers(min_value=0, max_value=2**66 - 1),
+    p=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+    engine=st.sampled_from(["auto", "lk", "two_opt"]),
+    tag=st.one_of(st.none(), st.text(max_size=8)),
+)
+def test_request_roundtrip_property(n, edge_bits, p, engine, tag):
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = [e for i, e in enumerate(pairs) if (edge_bits >> i) & 1]
+    req = SolveRequest(Graph(n, edges), LpSpec(tuple(p)), engine=engine, tag=tag)
+    back = SolveRequest.from_json_line(json.dumps(req.to_json()))
+    assert back.graph == req.graph
+    assert back.spec == req.spec
+    assert back.engine == req.engine and back.tag == req.tag
+    assert back.analysis is None  # the oracle never crosses the wire
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=10),
+    span=st.integers(min_value=0, max_value=40),
+    engine=st.sampled_from(["lk", "held_karp"]),
+    exact=st.booleans(),
+    cached=st.booleans(),
+    seconds=st.floats(min_value=0, max_value=10, allow_nan=False),
+    tag=st.one_of(st.none(), st.text(max_size=8)),
+)
+def test_response_roundtrip_property(labels, span, engine, exact, cached,
+                                     seconds, tag):
+    resp = SolveResponse(
+        labeling=Labeling(tuple(labels)), span=span, engine=engine,
+        exact=exact, cached=cached, key="k:auto", seconds=seconds, tag=tag,
+    )
+    back = SolveResponse.from_json(json.loads(json.dumps(resp.to_json())))
+    assert back == resp  # frozen dataclasses: full field equality
+
+
+def test_response_roundtrip_from_live_solve():
+    resp = LabelingService().submit(
+        SolveRequest(gen.cycle_graph(5), L21, engine="held_karp")
+    )
+    assert isinstance(resp, SolveResponse)
+    back = SolveResponse.from_json(resp.to_json())
+    assert back == resp
+
+
+def test_service_result_is_solve_response_alias():
+    assert ServiceResult is SolveResponse
+    assert repro.ServiceResult is repro.SolveResponse
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not a dict",
+        {},
+        {"n": 3, "edges": []},                               # missing p
+        {"n": -1, "edges": [], "p": [2, 1]},                 # negative n
+        {"n": True, "edges": [], "p": [2, 1]},               # bool is not int
+        {"n": 3, "edges": [[0]], "p": [2, 1]},               # bad pair
+        {"n": 3, "edges": [[0, "1"]], "p": [2, 1]},          # non-int vertex
+        {"n": 3, "edges": [], "p": []},                      # empty p
+        {"n": 3, "edges": [], "p": [0]},                     # p below 1
+        {"n": 3, "edges": [], "p": [2, 1], "engine": 7},     # bad engine
+        {"n": 3, "edges": [], "p": [2, 1], "tag": 7},        # bad tag
+        {"n": 3, "edges": [], "p": [2, 1], "bogus": 1},      # unknown field
+        {"n": 2, "edges": [[0, 5]], "p": [2, 1]},            # vertex off graph
+    ],
+)
+def test_request_from_json_rejects_malformed(payload):
+    with pytest.raises(RequestValidationError):
+        SolveRequest.from_json(payload)
+
+
+def test_request_from_json_line_rejects_bad_json():
+    with pytest.raises(RequestValidationError):
+        SolveRequest.from_json_line(b"{not json")
+
+
+def test_response_from_json_rejects_malformed():
+    with pytest.raises(RequestValidationError):
+        SolveResponse.from_json({"labels": [0], "span": 1})  # missing fields
+    with pytest.raises(RequestValidationError):
+        SolveResponse.from_json({"labels": [-1], "span": 1, "engine": "lk",
+                                 "exact": True, "cached": False, "key": "k",
+                                 "seconds": 0.0})
+
+
+# ---------------------------------------------------------------------------
+# the error table
+# ---------------------------------------------------------------------------
+def _all_repro_error_classes():
+    seen, stack = set(), [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        stack.extend(cls.__subclasses__())
+    return seen
+
+
+def test_error_table_covers_every_subclass():
+    """Every ReproError subclass resolves to a row (its own or inherited)."""
+    for cls in _all_repro_error_classes():
+        code = error_code(cls)
+        status = http_status(cls)
+        assert isinstance(code, str) and code
+        assert 400 <= status < 600
+
+
+def test_error_table_codes_are_stable_and_unique():
+    codes = [code for code, _ in ERROR_TABLE.values()]
+    assert len(codes) == len(set(codes)), "codes are a vocabulary: no reuse"
+    assert error_code(ServiceOverloadedError("x")) == "overloaded"
+    assert http_status(ServiceOverloadedError) == 429
+    assert error_code(RequestValidationError) == "invalid_request"
+    assert http_status(ReproError) == 500
+
+
+def test_error_payload_shape():
+    payload = error_payload(ServiceOverloadedError("queue full"))
+    assert payload == {"error": "queue full", "code": "overloaded",
+                       "status": 429}
+
+
+def test_cli_error_line_carries_code(capsys, tmp_path):
+    from repro.cli import main
+
+    path = tmp_path / "c6.edges"   # C6 has diameter 3 > k: not applicable
+    path.write_text(
+        "6 6\n" + "".join(f"{u} {(u + 1) % 6}\n" for u in range(6))
+    )
+    code = main(["solve", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error: [not_applicable]" in err
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+def test_legacy_submit_warns_and_still_works():
+    svc = LabelingService()
+    g = gen.cycle_graph(5)
+    with pytest.deprecated_call():
+        legacy = svc.submit(g, L21, engine="held_karp")
+    fresh = svc.submit(SolveRequest(g, L21, engine="held_karp"))
+    assert legacy.span == fresh.span
+    assert fresh.cached  # same canonical key either way
+
+
+def test_legacy_concurrent_submit_warns_and_still_works():
+    server = ConcurrentLabelingService(workers=1, offload=False)
+    try:
+        with pytest.deprecated_call():
+            fut = server.submit(gen.cycle_graph(5), L21, engine=ENGINE)
+        assert fut.result(timeout=30).span >= 4
+        fut2 = server.submit(SolveRequest(gen.cycle_graph(5), L21, engine=ENGINE))
+        assert fut2.result(timeout=30).cached
+    finally:
+        server.shutdown(wait=True)
+
+
+def test_new_submit_does_not_warn(recwarn):
+    svc = LabelingService()
+    svc.submit(SolveRequest(gen.cycle_graph(5), L21, engine=ENGINE))
+    assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+def test_as_request_rejects_conflicting_forms():
+    req = SolveRequest(gen.cycle_graph(5), L21)
+    with pytest.raises(ReproError):
+        as_request(req, L21)             # spec alongside a request object
+    with pytest.raises(ReproError):
+        as_request(gen.cycle_graph(5))   # graph without a spec

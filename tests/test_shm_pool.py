@@ -33,7 +33,7 @@ from repro.parallel.shm_pool import (
 )
 from repro.reduction.solver import solve_labeling
 
-from conftest import repro_shm_segments
+from repro.parallel.shm_pool import live_segment_names as repro_shm_segments
 
 SPEC = (2, 1)
 ENGINE = "lk"
