@@ -28,8 +28,9 @@ bench-quick:
 		benchmarks/bench_e13_dynamic_updates.py \
 		benchmarks/bench_e14_concurrent_service.py \
 		benchmarks/bench_e15_shm_pool.py \
-		benchmarks/bench_e16_network_service.py -q --benchmark-disable \
-		-k "not speedup"
+		benchmarks/bench_e16_network_service.py \
+		benchmarks/bench_e17_oracle_scaling.py -q --benchmark-disable \
+		-k "not speedup and not large2048"
 
 # line-coverage gate: measured ~95% at the time of pinning; the floor sits
 # a few points under so noise in line accounting never flakes the CI

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.graphs.analysis as analysis_mod
 from repro.graphs.analysis import (
     GraphAnalysis,
     attach_distances,
@@ -37,7 +38,11 @@ from repro.graphs.analysis import (
     get_analysis,
 )
 from repro.graphs.graph import Graph, Mutation
-from repro.graphs.traversal import UNREACHABLE, all_pairs_distances
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    all_pairs_distances,
+    distance_rows_csr,
+)
 from repro.obs.metrics import REGISTRY
 
 #: Fraction of rows above which an edge-delete repair falls back to a full
@@ -46,6 +51,14 @@ from repro.obs.metrics import REGISTRY
 #: bookkeeping; below the threshold the partial sweep (which also skips
 #: the adjacency-matrix rebuild the full kernel pays) wins.
 DELETE_FALLBACK_FRACTION = 0.75
+
+#: Vertex count above which :func:`distance_rows` switches from the dense
+#: boolean-matmul expansion to the sparse CSR frontier kernel.  At small n
+#: the matmul's fixed overhead is lower (measured ~7x at n = 48); past a
+#: few hundred vertices the sparse path's edges-actually-traversed cost
+#: wins by an order of magnitude.  Matches the analysis layer's
+#: ``DENSE_MATERIALIZE_LIMIT`` regime switch.
+CSR_ROWS_LIMIT = 256
 
 #: Registry counter of incremental repairs abandoned for a full APSP.
 _FULL_REFRESHES = REGISTRY.counter("repro_full_apsp_refresh_total")
@@ -78,16 +91,23 @@ def relax_insert(dist: np.ndarray, u: int, v: int) -> None:
     finite infinity, the candidate through the new edge is
     ``W[:, u, None] + 1 + W[None, v, :]`` and its transpose covers the
     opposite orientation.  Exact for unweighted graphs, including inserts
-    that merge two components.
+    that merge two components.  Works in the matrix's own dtype (the
+    blocked oracle hands out ``int16``), widening only the scratch array
+    when ``2n + 1`` — the largest candidate sum — would overflow it.
     """
     n = dist.shape[0]
-    inf = np.int64(n)  # any finite distance is <= n - 1
-    w = np.where(dist == UNREACHABLE, inf, dist)
+    inf = n  # any finite distance is <= n - 1
+    work = dist.dtype
+    if np.iinfo(work).max < 2 * n + 1:
+        work = np.int32 if 2 * n + 1 <= np.iinfo(np.int32).max else np.int64
+    w = dist.astype(work, copy=True)
+    w[dist == UNREACHABLE] = inf
     du = w[:, u]
     dv = w[:, v]
     cand = du[:, None] + (dv[None, :] + 1)
     np.minimum(cand, cand.T, out=cand)  # d(i,v) + 1 + d(u,j) == cand.T[i,j]
     np.minimum(w, cand, out=w)
+    # repaired values only shrink, so they fit back into the original dtype
     dist[...] = np.where(w >= inf, UNREACHABLE, w)
 
 
@@ -104,22 +124,42 @@ def affected_sources(dist: np.ndarray, u: int, v: int) -> np.ndarray:
     return np.nonzero(reach & (np.abs(du - dv) == 1))[0]
 
 
-def distance_rows(adj: np.ndarray, sources: np.ndarray) -> np.ndarray:
+def distance_rows(
+    adj: np.ndarray, sources: np.ndarray, dtype=np.int64
+) -> np.ndarray:
     """Exact BFS distance rows for ``sources`` over boolean adjacency ``adj``.
 
-    The multi-source frontier expansion of
-    :func:`~repro.graphs.traversal.all_pairs_distances`, restricted to a
-    row subset: one ``(k, n) @ (n, n)`` boolean product per BFS level.
+    Two regimes, crossing over at :data:`CSR_ROWS_LIMIT` vertices.  Small
+    graphs keep the dense expansion — one ``(k, n) @ (n, n)`` boolean
+    product per BFS level, whose fixed overhead is lower than any sparse
+    bookkeeping at that size.  Larger graphs delegate to the sparse CSR
+    frontier kernel (:func:`~repro.graphs.traversal.distance_rows_csr`)
+    after one ``np.nonzero`` pass over the dense adjacency — frontier work
+    is then proportional to the edges actually traversed, which is what
+    keeps large-graph delete repairs off the ``O(k n^2)`` cliff.  Rows come
+    back in ``dtype`` so the engine can repair a narrow matrix without
+    widening it; on the CSR path a level that would overflow promotes to
+    the next wider integer type.
     """
     n = adj.shape[0]
-    k = len(sources)
-    dist = np.full((k, n), UNREACHABLE, dtype=np.int64)
-    if k == 0:
+    sources = np.asarray(sources, dtype=np.int64)
+    if n > CSR_ROWS_LIMIT:
+        # np.nonzero walks row-major, so tails arrive grouped by head —
+        # already a valid CSR indices array under the bincount indptr
+        heads, tails = np.nonzero(adj)
+        indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(heads, minlength=n)))
+        ).astype(np.int64)
+        return distance_rows_csr(
+            indptr, tails.astype(np.int64), sources, n, dtype=dtype
+        )
+    k = sources.shape[0]
+    dist = np.full((k, n), UNREACHABLE, dtype=dtype)
+    if k == 0 or n == 0:
         return dist
-    rows = np.arange(k)
-    dist[rows, sources] = 0
+    dist[np.arange(k), sources] = 0
     reached = np.zeros((k, n), dtype=bool)
-    reached[rows, sources] = True
+    reached[np.arange(k), sources] = True
     frontier = reached.copy()
     level = 0
     while True:
@@ -133,9 +173,9 @@ def distance_rows(adj: np.ndarray, sources: np.ndarray) -> np.ndarray:
 
 
 def _pad_vertex(dist: np.ndarray) -> np.ndarray:
-    """Grow the matrix for one appended isolated vertex."""
+    """Grow the matrix for one appended isolated vertex (dtype preserved)."""
     n = dist.shape[0]
-    out = np.full((n + 1, n + 1), UNREACHABLE, dtype=np.int64)
+    out = np.full((n + 1, n + 1), UNREACHABLE, dtype=dist.dtype)
     out[:n, :n] = dist
     out[n, n] = 0
     return out
@@ -171,7 +211,7 @@ class DeltaEngine:
     ) -> None:
         """Seed the engine from ``graph``'s (or the given) current analysis."""
         a = ensure_current(graph, analysis)
-        self.dist = np.array(a.distances, dtype=np.int64, copy=True)
+        self.dist = np.array(a.distances, copy=True)
         self.adj = graph.adjacency_matrix(dtype=np.bool_)
         self.m = graph.m
         self.version = graph.version
@@ -270,7 +310,9 @@ class DeltaEngine:
                 self.m -= 1
                 if len(touched) > self.delete_fallback_fraction * self.n:
                     return False  # repair would cost ~a full APSP anyway
-                rows = distance_rows(self.adj, touched)
+                rows = distance_rows(self.adj, touched, dtype=self.dist.dtype)
+                if rows.dtype != self.dist.dtype:
+                    self.dist = self.dist.astype(rows.dtype)
                 self.dist[touched, :] = rows
                 self.dist[:, touched] = rows.T
             elif m.op == "add_vertex":
@@ -301,9 +343,14 @@ class DeltaEngine:
             and cached.version == graph.version
             and cached._distances is not None
         ):
-            self.dist = np.array(cached._distances, dtype=np.int64, copy=True)
-        else:
+            self.dist = np.array(cached._distances, copy=True)
+        elif graph.n <= analysis_mod.DENSE_MATERIALIZE_LIMIT:
             self.dist = all_pairs_distances(graph)
+        else:
+            # large graphs resync through the blocked oracle: the rebuilt
+            # matrix is assembled from int16 row blocks and memoized on the
+            # graph, instead of a dense int64 kernel run
+            self.dist = np.array(get_analysis(graph).distances, copy=True)
         self.adj = graph.adjacency_matrix(dtype=np.bool_)
         self.m = graph.m
         self.version = graph.version
@@ -395,7 +442,7 @@ def refresh_analysis(
         if adj is None or adj.shape[0] != prior._distances.shape[0]:
             return _counted_full(graph)
         engine = DeltaEngine._from_state(
-            np.array(prior._distances, dtype=np.int64, copy=True),
+            np.array(prior._distances, copy=True),
             adj,
             prior.version,
             _record_suffix_at(graph, prior.version),
@@ -405,7 +452,7 @@ def refresh_analysis(
         return attach_distances(graph, engine.dist)
 
     # insert/grow-only gap: no adjacency state needed at all
-    dist = np.array(prior._distances, dtype=np.int64, copy=True)
+    dist = np.array(prior._distances, copy=True)
     for m in muts:
         if m.op == "add_vertex":
             if m.u != dist.shape[0]:

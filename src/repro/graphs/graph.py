@@ -62,7 +62,17 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_adj", "_m", "_version", "_analysis", "_mutation_log")
+    __slots__ = (
+        "_n",
+        "_adj",
+        "_m",
+        "_version",
+        "_analysis",
+        "_mutation_log",
+        "_eu",
+        "_ev",
+        "_csr",
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         """Build a graph on ``n`` vertices with an optional edge iterable."""
@@ -74,6 +84,14 @@ class Graph:
         self._version = 0
         self._analysis = None     # memoized GraphAnalysis (see graphs.analysis)
         self._mutation_log: deque[Mutation] = deque(maxlen=MUTATION_LOG_CAPACITY)
+        # numpy edge arrays: slot i holds edge (eu[i], ev[i]) with eu < ev.
+        # Capacity-doubled on append; only the first _m slots are live.  The
+        # CSR form is derived from these (never from the python sets), so
+        # the array-shaped hot paths — adjacency matrices, frontier
+        # expansion, degree stats — stay off python dict iteration.
+        self._eu = np.empty(8, dtype=np.int32)
+        self._ev = np.empty(8, dtype=np.int32)
+        self._csr: tuple[int, np.ndarray, np.ndarray] | None = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -118,6 +136,8 @@ class Graph:
         g._m = self._m
         g._version = self._version
         g._mutation_log = self._mutation_log.copy()
+        g._eu = self._eu[: self._m].copy()
+        g._ev = self._ev[: self._m].copy()
         return g
 
     # ------------------------------------------------------------------
@@ -132,11 +152,16 @@ class Graph:
         if v not in self._adj[u]:
             self._adj[u].add(v)
             self._adj[v].add(u)
+            a, b = (u, v) if u < v else (v, u)
+            if self._m == len(self._eu):
+                cap = max(8, 2 * len(self._eu))
+                self._eu = np.resize(self._eu, cap)
+                self._ev = np.resize(self._ev, cap)
+            self._eu[self._m] = a
+            self._ev[self._m] = b
             self._m += 1
             self._version += 1
-            self._mutation_log.append(
-                Mutation(self._version, "add_edge", min(u, v), max(u, v))
-            )
+            self._mutation_log.append(Mutation(self._version, "add_edge", a, b))
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``{u, v}``; raises if it is absent."""
@@ -146,11 +171,15 @@ class Graph:
             raise GraphError(f"edge ({u}, {v}) not present")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
-        self._m -= 1
+        a, b = (u, v) if u < v else (v, u)
+        m = self._m
+        pos = int(np.nonzero((self._eu[:m] == a) & (self._ev[:m] == b))[0][0])
+        # swap-delete: edge-array slot order carries no meaning
+        self._eu[pos] = self._eu[m - 1]
+        self._ev[pos] = self._ev[m - 1]
+        self._m = m - 1
         self._version += 1
-        self._mutation_log.append(
-            Mutation(self._version, "remove_edge", min(u, v), max(u, v))
-        )
+        self._mutation_log.append(Mutation(self._version, "remove_edge", a, b))
 
     def add_vertex(self) -> int:
         """Append an isolated vertex and return its id."""
@@ -246,7 +275,10 @@ class Graph:
 
     def degrees(self) -> list[int]:
         """Degree of every vertex, indexed by vertex id."""
-        return [len(s) for s in self._adj]
+        m = self._m
+        counts = np.bincount(self._eu[:m], minlength=self._n)
+        counts += np.bincount(self._ev[:m], minlength=self._n)
+        return counts.tolist()
 
     def max_degree(self) -> int:
         """The maximum degree Δ (0 for the empty graph)."""
@@ -259,13 +291,52 @@ class Graph:
                 if u < v:
                     yield (u, v)
 
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The live edge slots as two read-only ``int32`` arrays.
+
+        Slot ``i`` holds edge ``(eu[i], ev[i])`` with ``eu[i] < ev[i]``;
+        slot order is arbitrary (removals swap-delete).  The views alias
+        the graph's internal storage — treat them as a snapshot valid only
+        until the next mutation.
+        """
+        eu = self._eu[: self._m]
+        ev = self._ev[: self._m]
+        eu.flags.writeable = False
+        ev.flags.writeable = False
+        return eu, ev
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency ``(indptr, indices)``, cached per graph version.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` is the sorted neighbourhood of
+        ``v``.  Built vectorized from the edge arrays (bincount + lexsort),
+        so no python-level adjacency iteration happens on the hot path; the
+        cache key is :attr:`version`, so a mutation can never serve a stale
+        structure.  Both arrays are read-only ``int64``.
+        """
+        cached = self._csr
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        m = self._m
+        heads = np.concatenate((self._eu[:m], self._ev[:m])).astype(np.int64)
+        tails = np.concatenate((self._ev[:m], self._eu[:m])).astype(np.int64)
+        deg = np.bincount(heads, minlength=self._n)
+        indptr = np.concatenate(([0], np.cumsum(deg)))
+        order = np.lexsort((tails, heads))
+        indices = tails[order]
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._csr = (self._version, indptr, indices)
+        return indptr, indices
+
     def adjacency_matrix(self, dtype=np.bool_) -> np.ndarray:
         """Dense ``n x n`` adjacency matrix."""
         a = np.zeros((self._n, self._n), dtype=dtype)
-        for u in range(self._n):
-            nbrs = list(self._adj[u])
-            if nbrs:
-                a[u, nbrs] = 1
+        m = self._m
+        if m:
+            eu, ev = self._eu[:m], self._ev[:m]
+            a[eu, ev] = 1
+            a[ev, eu] = 1
         return a
 
     def adjacency_sets(self) -> list[frozenset[int]]:

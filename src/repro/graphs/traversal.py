@@ -100,6 +100,82 @@ def all_pairs_distances(graph: Graph) -> np.ndarray:
     return dist
 
 
+#: Promotion chain for the blocked kernel's level counter: when a BFS level
+#: would overflow the block dtype, the block widens one step and continues.
+_WIDER = {
+    np.dtype(np.int8): np.int16,
+    np.dtype(np.int16): np.int32,
+    np.dtype(np.int32): np.int64,
+}
+
+_ORACLE_PROMOTIONS = REGISTRY.counter("repro_oracle_promotions_total")
+_ORACLE_PROMOTIONS.labels()  # materialize: the exposition shows 0, not nothing
+
+
+def distance_rows_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    n: int,
+    dtype=np.int16,
+) -> np.ndarray:
+    """BFS distance rows for ``sources`` over a CSR adjacency.
+
+    The row-block substrate of the lazy distance oracle: all ``len(sources)``
+    BFS trees advance one level per iteration, with the frontier kept as a
+    sparse ``(row, vertex)`` pair list instead of the dense boolean matrix
+    :func:`all_pairs_distances` uses — memory is ``O(block_rows * n)``, not
+    ``O(n^2)``.  Rows come back in ``dtype`` (default ``int16``); if a level
+    would overflow it, the block promotes to the next wider integer type and
+    ``repro_oracle_promotions_total`` is incremented.  Unreachable pairs
+    hold :data:`UNREACHABLE`.  Does not count toward
+    :func:`apsp_run_count` — the gate for *full* materializations.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    b = sources.shape[0]
+    dist = np.full((b, n), UNREACHABLE, dtype=np.dtype(dtype))
+    if b == 0 or n == 0:
+        return dist
+    dist[np.arange(b), sources] = 0
+    rows = np.arange(b, dtype=np.int64)
+    cols = sources.copy()
+    level = 0
+    while rows.size:
+        level += 1
+        if level > np.iinfo(dist.dtype).max:
+            dist = dist.astype(_WIDER[dist.dtype])
+            _ORACLE_PROMOTIONS.inc()
+        counts = indptr[cols + 1] - indptr[cols]
+        live = counts > 0
+        rows, cols, counts = rows[live], cols[live], counts[live]
+        if rows.size == 0:
+            break
+        # multi-range gather: one cumsum builds the concatenation of every
+        # frontier vertex's CSR slice without a python loop
+        starts = indptr[cols]
+        cum = np.cumsum(counts)
+        deltas = np.ones(cum[-1], dtype=np.int64)
+        deltas[cum[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+        deltas[0] = starts[0]
+        nbr = indices[np.cumsum(deltas)]
+        nbr_rows = np.repeat(rows, counts)
+        # drop already-visited candidates first (the bulk of the gather
+        # once the BFS waves collide), then dedupe the survivors (several
+        # frontier vertices can share a neighbour) with one sort — far
+        # cheaper than hashing the full gather via np.unique
+        fresh = dist[nbr_rows, nbr] == UNREACHABLE
+        flat = nbr_rows[fresh] * n + nbr[fresh]
+        if flat.size:
+            flat.sort()
+            keep = np.empty(flat.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+            flat = flat[keep]
+        rows, cols = flat // n, flat % n
+        dist[rows, cols] = level
+    return dist
+
+
 def all_pairs_distances_reference(graph: Graph) -> np.ndarray:
     """One Python BFS per source (``O(nm)``) — the pre-vectorization kernel.
 

@@ -66,6 +66,32 @@ def _cograph(n: int, seed: int) -> Graph:
     return random_connected_cograph(n, seed=seed)
 
 
+def _sparse(n: int, seed: int) -> Graph:
+    """Connected sparse graph (~2.5n edges): path backbone plus chords.
+
+    The scaling family for the blocked distance oracle: at n in the
+    hundreds-to-thousands its diameter grows like log n — far beyond the
+    Theorem-2 regime — so these graphs exercise row-block materialization,
+    LRU residency and streamed consumers rather than the reduction.
+    Built edge-by-edge in O(n) (no dense draws), so generation stays
+    negligible next to the measured work even at n = 2048.
+    """
+    if n < 2:
+        return Graph(n)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    g = Graph(n, ((int(perm[i]), int(perm[i + 1])) for i in range(n - 1)))
+    target = g.m + (3 * n) // 2
+    draws = rng.integers(0, n, size=(4 * n, 2))
+    for u, v in draws:
+        if g.m >= target:
+            break
+        u, v = int(u), int(v)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
 def _wheel(n: int, seed: int) -> Graph:
     """Wheel graph on ``n`` vertices (hub + rim)."""
     return gen.wheel_graph(max(n - 1, 3))
@@ -86,6 +112,7 @@ WORKLOADS: dict[str, Callable[[int, int], Graph]] = {
     "cograph": _cograph,
     "wheel": _wheel,
     "complete_bipartite": _complete_bipartite,
+    "sparse": _sparse,
 }
 
 
@@ -122,6 +149,10 @@ class MatrixLeg:
     #: Constraint vector solvable on this family (Theorem 2 needs
     #: ``diam(G) <= len(spec)``, so deeper families carry longer specs).
     spec: tuple[int, ...] = (2, 1)
+    #: Whether the Theorem-2 reduction applies to this family (the large
+    #: sparse legs have diameter >> len(spec), so the reduction scenario
+    #: skips them and the oracle-scaling scenario measures them instead).
+    reduction: bool = True
 
     def workloads(self) -> list[Workload]:
         """Instantiate the leg's full size x seed grid."""
@@ -142,6 +173,9 @@ MATRIX: dict[str, MatrixLeg] = {
         MatrixLeg("geometric-radio", "geometric", (24, 40), (0, 1), spec=(2, 2, 1)),
         MatrixLeg("split-dense", "split", (24, 40), (0, 1), spec=(2, 2, 1)),
         MatrixLeg("cograph-structured", "cograph", (24, 40), (0, 1)),
+        # the scaling legs: 10-50x larger graphs through the blocked oracle
+        MatrixLeg("large-512", "sparse", (512,), (0,), reduction=False),
+        MatrixLeg("large-2048", "sparse", (2048,), (0,), reduction=False),
     )
 }
 
@@ -190,6 +224,8 @@ DYNAMIC: dict[str, ChurnLeg] = {
         ChurnLeg("churn-diam2-small", "diam2", 24, 40),
         ChurnLeg("churn-diam2-dense", "diam2", 48, 64),
         ChurnLeg("churn-geometric", "geometric", 32, 48, spec=(2, 2, 1)),
+        # large-graph churn: the delta engine repairing an int16 matrix
+        ChurnLeg("churn-sparse-large", "sparse", 512, 64),
     )
 }
 
@@ -223,6 +259,20 @@ def churn_stream(
             u, v = edges[int(rng.integers(len(edges)))]
             replica.remove_edge(u, v)
             ops.append(("remove_edge", u, v))
+        elif n >= 256:
+            # large graphs are sparse: rejection-sample an absent pair in
+            # O(1) expected instead of materializing the O(n^2) absent
+            # list.  Gated on n so the small legs' streams (and their
+            # committed baseline numbers) stay bit-identical.
+            for _ in range(64):
+                u = int(rng.integers(n))
+                v = int(rng.integers(n))
+                if u > v:
+                    u, v = v, u
+                if u != v and not replica.has_edge(u, v):
+                    replica.add_edge(u, v)
+                    ops.append(("add_edge", u, v))
+                    break
         else:
             absent = [
                 (u, v)

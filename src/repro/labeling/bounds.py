@@ -31,15 +31,23 @@ def lower_bound(graph: Graph, spec: LpSpec, dist: np.ndarray | None = None) -> i
     n = graph.n
     if n <= 1:
         return 0
-    if dist is None:
-        dist = get_analysis(graph).distances
     best = 0
 
     if graph.m > 0:
         best = max(best, spec.p[0])
 
-    finite = dist[dist > 0]
-    if finite.size and int(finite.max()) <= spec.k and spec.pmin >= 1:
+    # max positive distance; streamed per row block when no matrix exists
+    # (positive entries exist iff the global max is positive — entries are
+    # -1, 0 or a path length)
+    if dist is not None:
+        d = np.asarray(dist)
+        dmax = int(d.max()) if d.size else 0
+    else:
+        dmax = 0
+        for _lo, _hi, blk in get_analysis(graph).iter_row_blocks():
+            if blk.size:
+                dmax = max(dmax, int(blk.max()))
+    if dmax >= 1 and dmax <= spec.k and spec.pmin >= 1:
         best = max(best, (n - 1) * spec.pmin)
 
     delta = graph.max_degree()

@@ -41,7 +41,7 @@ def exact_labeling(graph: Graph, spec: LpSpec, max_n: int = MAX_EXACT_N) -> Labe
     if n == 1:
         return Labeling((0,))
 
-    dist = get_analysis(graph).distances
+    dist = get_analysis(graph).rows(0, n)
     req = requirement_matrix(spec, dist)
 
     # vertex order: decreasing constraint mass; ties by id for determinism
@@ -104,7 +104,7 @@ def exact_span_or_fail(graph: Graph, spec: LpSpec, span_budget: int) -> Labeling
     n = graph.n
     if n == 0:
         return Labeling(())
-    dist = get_analysis(graph).distances
+    dist = get_analysis(graph).rows(0, n)
     req = requirement_matrix(spec, dist)
     order = sorted(range(n), key=lambda v: (-int(req[v].sum()), v))
     found = _search(req, order, span_budget)

@@ -40,21 +40,32 @@ def greedy_labeling(
     n = graph.n
     if n == 0:
         return Labeling(())
-    req = requirement_matrix(spec, get_analysis(graph).distances)
+    analysis = get_analysis(graph)
+    # small graphs keep the one-gather dense requirement matrix; large ones
+    # fetch one requirement row per vertex through the blocked oracle, so
+    # first-fit never holds O(n^2) memory
+    req = (
+        requirement_matrix(spec, analysis.distances)
+        if analysis.dense_preferred
+        else None
+    )
 
     perm = _resolve_order(graph, order, seed)
     labels = np.full(n, -1, dtype=np.int64)
     for v in perm:
-        constraining = np.nonzero((req[v] > 0) & (labels >= 0))[0]
+        rv = req[v] if req is not None else requirement_matrix(
+            spec, analysis.row(v)
+        )
+        constraining = np.nonzero((rv > 0) & (labels >= 0))[0]
         x = 0
         while True:
             gaps = np.abs(labels[constraining] - x)
-            bad = gaps < req[v][constraining]
+            bad = gaps < rv[constraining]
             if not bad.any():
                 break
             # jump past the tightest blocking window instead of x += 1
             u = constraining[bad][0]
-            x = int(labels[u] + req[v][u])
+            x = int(labels[u] + rv[u])
         labels[v] = x
     return Labeling(tuple(int(x) for x in labels))
 

@@ -33,6 +33,20 @@ def requirement_matrix(spec: LpSpec, dist: np.ndarray) -> np.ndarray:
     return np.where(in_range, p[np.clip(d, 1, spec.k) - 1], 0)
 
 
+def _iter_dist_blocks(graph: Graph, dist: np.ndarray | None):
+    """Yield ``(lo, hi, rows)`` distance slices for the feasibility checks.
+
+    A forwarded matrix is served as one pseudo-block; otherwise the graph's
+    analysis streams row blocks, so verification on large graphs never
+    materializes an ``O(n^2)`` matrix (see
+    :meth:`repro.graphs.analysis.GraphAnalysis.iter_row_blocks`).
+    """
+    if dist is not None:
+        yield 0, graph.n, np.asarray(dist)
+        return
+    yield from get_analysis(graph).iter_row_blocks()
+
+
 @dataclass(frozen=True)
 class Labeling:
     """An assignment ``l : V -> N ∪ {0}`` stored as a tuple indexed by vertex."""
@@ -89,14 +103,28 @@ class Labeling:
             raise ReproError(
                 f"labeling covers {self.n} vertices but graph has {graph.n}"
             )
-        if dist is None:
-            dist = get_analysis(graph).distances
         lab = np.asarray(self.labels, dtype=np.int64)
-        gaps = np.abs(lab[:, None] - lab[None, :])
-        req = requirement_matrix(spec, dist)
-        bad_u, bad_v = np.nonzero(np.triu(req > 0, k=1) & (gaps < req))
-        bad_d = np.asarray(dist)[bad_u, bad_v]
-        bad_req = req[bad_u, bad_v]
+        cols = np.arange(graph.n)
+        found: list[np.ndarray] = []
+        for lo, hi, blk in _iter_dist_blocks(graph, dist):
+            req = requirement_matrix(spec, blk)
+            gaps = np.abs(lab[lo:hi, None] - lab[None, :])
+            upper = cols[None, :] > np.arange(lo, hi)[:, None]
+            u, v = np.nonzero(upper & (req > 0) & (gaps < req))
+            if u.size:
+                found.append(
+                    np.stack(
+                        (
+                            u + lo,
+                            v,
+                            np.asarray(blk, dtype=np.int64)[u, v],
+                            req[u, v],
+                        )
+                    )
+                )
+        if not found:
+            return []
+        bad_u, bad_v, bad_d, bad_req = np.concatenate(found, axis=1)
         order = np.lexsort((bad_v, bad_u, bad_d))
         return [
             (int(bad_u[i]), int(bad_v[i]), int(bad_d[i]), int(bad_req[i]))
@@ -109,12 +137,13 @@ class Labeling:
         """Fast vectorized feasibility check (no violation list built)."""
         if graph.n != self.n:
             return False
-        if dist is None:
-            dist = get_analysis(graph).distances
         lab = np.asarray(self.labels, dtype=np.int64)
-        gaps = np.abs(lab[:, None] - lab[None, :])
-        req = requirement_matrix(spec, dist)
-        return not bool(np.any((req > 0) & (gaps < req)))
+        for lo, hi, blk in _iter_dist_blocks(graph, dist):
+            req = requirement_matrix(spec, blk)
+            gaps = np.abs(lab[lo:hi, None] - lab[None, :])
+            if bool(np.any((req > 0) & (gaps < req))):
+                return False
+        return True
 
     def require_feasible(
         self, graph: Graph, spec: LpSpec, dist: np.ndarray | None = None

@@ -38,6 +38,33 @@ CATALOG: dict[str, tuple[str, str]] = {
         "Incremental delta repairs abandoned for a full APSP recompute "
         "(threshold fallback, trimmed mutation window, or replay desync).",
     ),
+    # ---- blocked distance oracle ---------------------------------------
+    "repro_oracle_block_hits_total": (
+        COUNTER,
+        "Row-block requests answered from the lazy distance oracle's "
+        "resident LRU (no frontier expansion spent).",
+    ),
+    "repro_oracle_block_misses_total": (
+        COUNTER,
+        "Row-block requests that had to materialize the block by "
+        "multi-source frontier expansion over the CSR adjacency.",
+    ),
+    "repro_oracle_block_evictions_total": (
+        COUNTER,
+        "Row blocks evicted from a lazy distance oracle to hold the "
+        "configured byte budget.",
+    ),
+    "repro_oracle_peak_bytes": (
+        GAUGE,
+        "High-water mark of resident row-block bytes in the most recently "
+        "active lazy distance oracle — the perf-gated oracle_peak_bytes "
+        "signal.",
+    ),
+    "repro_oracle_promotions_total": (
+        COUNTER,
+        "Row-block materializations whose BFS level overflowed the block "
+        "dtype and promoted to the next wider integer type.",
+    ),
     # ---- result caches (label: tier = single | sharded) ---------------
     "repro_cache_hits_total": (
         COUNTER,

@@ -56,6 +56,12 @@ METRIC_GATES: dict[str, tuple[str, float]] = {
     # CI pool-scaling leg); a pinned single-core run reports its honest
     # ~1.0 and the floor is skipped, never faked
     "workers_speedup_4": ("floor", 2.0),
+    # blocked-oracle residency (ORACLE scaling legs): at fixed n the
+    # row-block LRU's byte high-water mark may never rise — a consumer
+    # regressing to a dense gather fails here long before it times out —
+    # and the block hit rate may never fall below baseline - slack
+    "oracle_peak_bytes": ("max", 0.0),
+    "row_block_hit_rate": ("min", 0.02),
 }
 
 #: ``floor``-gated metrics are only enforceable when the measuring run had
@@ -110,18 +116,25 @@ class Verdict:
 
 @dataclass
 class ComparisonReport:
-    """Every per-experiment verdict plus the aggregate gate."""
+    """Every per-experiment verdict plus the aggregate gate.
+
+    ``warnings`` carries non-failing environment caveats — today the
+    calibration-affinity mismatch (baseline and run measured on different
+    CPU counts) — rendered as WARN lines so a drifting ratio is read with
+    the right suspicion instead of silently trusted.
+    """
 
     verdicts: list[Verdict] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        """True when every experiment's verdict passed."""
+        """True when every experiment's verdict passed (warnings don't fail)."""
         return all(v.passed for v in self.verdicts)
 
     def render(self) -> str:
         """Human-readable PASS/FAIL listing plus the aggregate gate line."""
-        lines = []
+        lines = [f"[WARN] {w}" for w in self.warnings]
         for v in self.verdicts:
             mark = "PASS" if v.passed else "FAIL"
             ratio = f" ({v.ratio:.2f}x)" if v.ratio is not None else ""
@@ -133,9 +146,10 @@ class ComparisonReport:
         return "\n".join(lines)
 
     def to_json(self) -> dict:
-        """JSON form: the aggregate flag plus every verdict."""
+        """JSON form: the aggregate flag plus every verdict and warning."""
         return {
             "passed": self.passed,
+            "warnings": list(self.warnings),
             "verdicts": [v.to_json() for v in self.verdicts],
         }
 
@@ -203,6 +217,19 @@ def compare(
     """
     tolerances = tolerances or {}
     report = ComparisonReport()
+    # calibration_seconds is measured under the machine's *current* CPU
+    # affinity; when the core count changed between the baseline run and
+    # this one, normalization no longer cancels machine speed for the
+    # multi-core scenarios and every ratio deserves suspicion
+    for key in ("cpu_count", "logical_cpu_count"):
+        b_val = baseline.environment.get(key)
+        c_val = current.environment.get(key)
+        if b_val is not None and c_val is not None and b_val != c_val:
+            report.warnings.append(
+                f"calibration mismatch: {key} changed {b_val} -> {c_val} "
+                "between baseline and this run; normalized ratios may "
+                "drift — re-baseline on this machine if verdicts look off"
+            )
     cur_map = current.record_map()
     base_map = baseline.record_map()
     # calibration cancels machine speed only if BOTH sides carry it;

@@ -53,8 +53,9 @@ from repro.reduction.to_tsp import reduce_to_path_tsp
 from repro.service.api import LabelingService
 from repro.service.protocol import SolveRequest
 
-#: Matrix legs a ``--quick`` run sweeps (one leg, per the CI perf-gate).
-QUICK_LEGS = ("diam2-small",)
+#: Matrix legs a ``--quick`` run sweeps, per the CI perf-gate: one
+#: reduction leg plus the n=512 blocked-oracle smoke.
+QUICK_LEGS = ("diam2-small", "large-512")
 
 
 def _timed_repeats(fn, repeats: int, min_seconds: float = 0.0) -> tuple[float, ...]:
@@ -213,6 +214,59 @@ def reduction_leg_scenario(leg_name: str, repeats: int) -> PerfRecord:
     )
 
 
+def oracle_scaling_scenario(leg_name: str, repeats: int) -> PerfRecord:
+    """The blocked-oracle leg: end-to-end labeling at sizes with no matrix.
+
+    One timed pass over a ``reduction=False`` matrix leg: cold graph copy,
+    streamed eccentricities (one full row-block sweep through the
+    :class:`~repro.graphs.analysis.LazyDistanceOracle`), then a greedy
+    L(2,1) labeling via per-vertex requirement rows and a blocked
+    feasibility check.  The dense int64 matrix is never materialized.
+
+    Metrics carry the two gated signals — ``oracle_peak_bytes`` (the
+    resident row-block high-water mark, which the baseline comparator
+    never allows to rise at fixed n) and ``row_block_hit_rate`` (which
+    must not fall) — plus ``dense_fraction``, the peak as a fraction of
+    the ``n^2 * 8`` dense-int64 footprint the oracle replaced (the
+    acceptance bound is <= 0.25: full int16 residency).
+    """
+    from repro.graphs.analysis import get_analysis
+    from repro.labeling.greedy import greedy_labeling
+    from repro.labeling.spec import LpSpec
+
+    leg = MATRIX[leg_name]
+    wl = matrix_sweep(leg_name)[0]
+    spec = LpSpec(leg.spec)
+
+    stats: dict = {}
+
+    def run_pass() -> None:
+        """One cold pass: eccentricities + greedy labeling + verification."""
+        nonlocal stats
+        g = wl.graph.copy()  # cold oracle every repeat
+        analysis = get_analysis(g)
+        analysis.eccentricities  # noqa: B018 — streamed block sweep
+        labeling = greedy_labeling(g, spec)
+        assert labeling.is_feasible(g, spec)
+        stats = analysis.oracle_stats()
+
+    walls = _timed_repeats(run_pass, repeats)
+    n = wl.n
+    return PerfRecord(
+        experiment=f"oracle_scaling:n={n}",
+        wall_seconds=walls,
+        metrics={
+            "n": n,
+            "m": wl.graph.m,
+            "oracle_peak_bytes": int(stats["peak_bytes"]),
+            "row_block_hit_rate": round(stats["hit_rate"], 4),
+            "oracle_evictions": int(stats["evictions"]),
+            "resident_blocks": int(stats["resident_blocks"]),
+            "dense_fraction": round(stats["peak_bytes"] / (n * n * 8), 4),
+        },
+    )
+
+
 def engine_sweep_scenario(repeats: int) -> PerfRecord:
     """E7's ladder: full pipeline per engine over small diam-2 workloads."""
     engines = ["lk", "two_opt", "nearest_neighbor"]
@@ -279,6 +333,46 @@ def dynamic_churn_scenario(quick: bool, repeats: int) -> PerfRecord:
             "n": leg.n,
             "steps": len(ops),
             "recompute_speedup": round(t_full / median, 2) if median > 0 else 0.0,
+            "full_apsp_refresh_count": fallbacks,
+        },
+    )
+
+
+def dynamic_churn_large_scenario(repeats: int) -> PerfRecord:
+    """Large-graph churn: the delta engine repairing an int16 matrix.
+
+    Same protocol as :func:`dynamic_churn_scenario` but over the
+    ``churn-sparse-large`` leg (n = 512), where the pre-dynamic cost model
+    — one full APSP per mutation — would dominate the whole suite if
+    actually swept.  The speedup denominator is therefore *estimated* from
+    one measured cold blocked rebuild times the stream length (reported as
+    ``recompute_speedup_est``, not gated); the gated metric stays the
+    measured ``full_apsp_refresh_count``.
+    """
+    from repro.graphs.analysis import get_analysis
+
+    leg = DYNAMIC["churn-sparse-large"]
+    base, ops = churn_stream(leg)
+
+    walls = _timed_repeats(lambda: churn_maintain(base, ops), repeats)
+    t_rebuild = statistics.median(
+        _timed_repeats(lambda: get_analysis(base.copy()).distances, repeats)
+    )
+
+    before = full_apsp_refresh_count()
+    churn_maintain(base, ops)
+    fallbacks = full_apsp_refresh_count() - before
+
+    median = statistics.median(walls)
+    est_full = t_rebuild * (len(ops) + 1)
+    return PerfRecord(
+        experiment=f"dynamic_churn:{leg.name}",
+        wall_seconds=walls,
+        metrics={
+            "n": leg.n,
+            "steps": len(ops),
+            "recompute_speedup_est": round(est_full / median, 2)
+            if median > 0 else 0.0,
             "full_apsp_refresh_count": fallbacks,
         },
     )
@@ -485,9 +579,11 @@ def run_perf_suite(
 ) -> Trajectory:
     """Run every scenario and return the stamped trajectory.
 
-    ``quick`` shrinks sizes, drops the engine sweep, and defaults to one
-    matrix leg — the shape the CI perf-gate runs.  ``legs`` overrides which
-    matrix legs the reduction scenario sweeps.
+    ``quick`` shrinks sizes, drops the engine sweep and the large churn
+    leg, and defaults to :data:`QUICK_LEGS` — the shape the CI perf-gate
+    runs.  ``legs`` overrides which matrix legs are swept; each leg is
+    routed by its ``reduction`` flag to either the Theorem-2 reduction
+    scenario or the blocked-oracle scaling scenario.
     """
     if repeats is None:
         repeats = 3 if quick else 5
@@ -508,8 +604,16 @@ def run_perf_suite(
         concurrent_service_scenario(quick, repeats),
         network_service_scenario(quick, repeats),
     ]
-    records.extend(reduction_leg_scenario(leg, repeats) for leg in legs)
+    records.extend(
+        reduction_leg_scenario(leg, repeats)
+        for leg in legs if MATRIX[leg].reduction
+    )
+    records.extend(
+        oracle_scaling_scenario(leg, repeats)
+        for leg in legs if not MATRIX[leg].reduction
+    )
     if not quick:
+        records.append(dynamic_churn_large_scenario(repeats))
         records.append(engine_sweep_scenario(repeats))
 
     return Trajectory(

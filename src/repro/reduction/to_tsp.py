@@ -66,13 +66,17 @@ def reduce_to_path_tsp(
     (0.0, 2.0)
     """
     report: ApplicabilityReport = check_applicable(graph, spec, analysis=analysis)
-    dist = report.distances
     n = graph.n
 
-    # w[u, v] = p[dist[u, v]] via one vectorized gather; p is 1-indexed by
-    # distance, so prepend a 0 for the diagonal (distance 0).
+    # w[u, v] = p[dist[u, v]], gathered one distance row block at a time; p
+    # is 1-indexed by distance, so prepend a 0 for the diagonal (distance
+    # 0).  Applicability already proved the graph connected with diam <= k,
+    # so every entry indexes inside the lookup.
     lookup = np.concatenate(([0], np.asarray(spec.p, dtype=np.int64)))
-    w = lookup[dist].astype(np.float64)
+    w = np.empty((n, n), dtype=np.float64)
+    for lo, hi, blk in report.analysis.iter_row_blocks():
+        w[lo:hi] = lookup[blk]
+    dist = report.distances
 
     instance = TSPInstance(w)
     # structural metricity (paper's observation): all off-diagonal weights in

@@ -210,6 +210,50 @@ class TestComparator:
         assert not report.passed
 
     @staticmethod
+    def _oracle_pair(peak: int, hit_rate: float):
+        """(current, base) carrying one oracle-scaling record."""
+        record = lambda p, h: PerfRecord(  # noqa: E731 - tiny local factory
+            "oracle_scaling:n=512", (0.06, 0.07, 0.06),
+            {"oracle_peak_bytes": p, "row_block_hit_rate": h},
+        )
+        base = make_trajectory(records=[record(524288, 0.98)])
+        current = make_trajectory(records=[record(peak, hit_rate)])
+        return current, base
+
+    def test_oracle_peak_bytes_gate_fails_on_rise(self):
+        current, base = self._oracle_pair(peak=600000, hit_rate=0.98)
+        report = compare(current, base)
+        assert not report.passed
+        verdict = report.verdicts[0]
+        assert verdict.status == "metric-regression"
+        assert "oracle_peak_bytes" in verdict.detail
+
+    def test_row_block_hit_rate_gate_fails_on_fall(self):
+        current, base = self._oracle_pair(peak=524288, hit_rate=0.5)
+        report = compare(current, base)
+        assert not report.passed
+        assert "row_block_hit_rate" in report.verdicts[0].detail
+
+    def test_oracle_gates_pass_at_baseline_values(self):
+        current, base = self._oracle_pair(peak=524288, hit_rate=0.98)
+        assert compare(current, base).passed
+
+    def test_affinity_mismatch_warns_but_passes(self):
+        base = make_trajectory()
+        current = make_trajectory()
+        current.environment["cpu_count"] = 8
+        report = compare(current, base)
+        assert report.passed  # a warning is a caveat, not a verdict
+        assert any("cpu_count" in w for w in report.warnings)
+        assert "[WARN]" in report.render()
+        assert report.to_json()["warnings"]
+
+    def test_no_affinity_warning_when_counts_match(self):
+        report = compare(make_trajectory(), make_trajectory())
+        assert report.warnings == []
+        assert "[WARN]" not in report.render()
+
+    @staticmethod
     def _speedup_pair(speedup: float, cpus: int):
         """(current, base) trajectories carrying one SERVICE-style record."""
         record = lambda s, c: PerfRecord(  # noqa: E731 - tiny local factory
@@ -391,12 +435,26 @@ class TestWorkloadMatrix:
         red = reduce_to_path_tsp(workloads[0].graph, LpSpec(leg.spec))
         assert red.instance.n == workloads[0].n
 
-    def test_every_leg_spec_is_applicable(self):
-        # each leg's spec must be solvable on every graph it generates —
-        # this is exactly what reduction_leg_scenario does mid-suite
+    def test_every_reduction_leg_spec_is_applicable(self):
+        # each reduction leg's spec must be solvable on every graph it
+        # generates — exactly what reduction_leg_scenario does mid-suite.
+        # reduction=False legs (diameter >> len(spec)) route to the
+        # oracle-scaling scenario instead and are checked below.
         for leg in MATRIX.values():
+            if not leg.reduction:
+                continue
             for wl in matrix_sweep(leg.name):
                 reduce_to_path_tsp(wl.graph, LpSpec(leg.spec))
+
+    def test_oracle_legs_are_out_of_reduction_regime(self):
+        from repro.graphs.analysis import get_analysis
+
+        for leg in MATRIX.values():
+            if leg.reduction:
+                continue
+            wl = matrix_sweep(leg.name)[0]
+            assert wl.n > 256  # the blocked-oracle regime, never dense
+            assert get_analysis(wl.graph).diameter > len(leg.spec)
 
     def test_unknown_leg(self):
         with pytest.raises(ReproError, match="unknown matrix leg"):
