@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick lint experiments perf perf-quick \
-	coverage examples-smoke docs docs-test metrics-smoke serve load-smoke
+	coverage examples-smoke docs docs-test metrics-smoke serve load-smoke \
+	overload-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -95,6 +96,26 @@ load-smoke:
 		--fail-on-errors --json --dump-metrics load-smoke.prom
 	$(PYTHON) tools/metrics_lint.py --check-exposition load-smoke.prom
 	@rm -f load-smoke.prom
+
+# CI overload-smoke contract: ramp a deliberately starved server (one
+# inline worker, tiny queue, capacity-1 cache so every request is cold)
+# well past its exact-tier capacity with auto-tier payloads carrying a
+# real deadline.  `--fail-on-errors` demands ZERO errors and ZERO
+# infeasible responses — intentional shedding (429/504) is fine — and
+# `--expect-approx` demands the router actually degraded: an overload
+# the approx tier never answered means QoS routing is dead.  The scraped
+# exposition must still parse and carry every catalogued family.
+OVERLOAD_SMOKE_RATE ?= 120
+OVERLOAD_SMOKE_SECONDS ?= 2
+
+overload-smoke:
+	$(PYTHON) -m repro load --rate $(OVERLOAD_SMOKE_RATE) \
+		--duration $(OVERLOAD_SMOKE_SECONDS) --workers 1 --no-offload \
+		--queue-size 4 --cache-capacity 1 --tier auto --deadline-ms 500 \
+		--payload-count 8 --fail-on-errors --expect-approx --json \
+		--dump-metrics overload-smoke.prom
+	$(PYTHON) tools/metrics_lint.py --check-exposition overload-smoke.prom
+	@rm -f overload-smoke.prom
 
 # regenerate the generated documentation (docs/cli.md); tests/test_docs.py
 # fails when the committed file drifts from the argparse tree

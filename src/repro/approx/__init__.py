@@ -1,0 +1,5 @@
+"""Degraded-mode approximate labeling: one-pass solve, certified gap."""
+
+from repro.approx.solver import APPROX_ENGINE, ApproxResult, approx_labeling
+
+__all__ = ["APPROX_ENGINE", "ApproxResult", "approx_labeling"]

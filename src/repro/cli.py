@@ -543,28 +543,58 @@ def _cmd_load(args: argparse.Namespace) -> int:
     With ``--url`` the ramp targets a running server; without it the
     command self-serves — it starts a private in-process server, loads it
     over real sockets, and tears it down — which is what the CI
-    ``load-smoke`` job runs.  ``--fail-on-errors`` exits 1 when any
-    request failed, and ``--dump-metrics FILE`` scrapes the target's
-    ``/metrics`` after the ramp (the smoke job feeds that file to
-    ``tools/metrics_lint.py --check-exposition``).
+    ``load-smoke`` and ``overload-smoke`` jobs run.  Every 200 response is
+    verified feasible against the payload it answered.
+    ``--fail-on-errors`` exits 1 when any request failed or returned an
+    infeasible labeling; intentional drops (429 queue-full, 504 deadline
+    expired) never trip it.  ``--expect-approx`` exits 1 unless the
+    degraded tier answered at least once.  ``--dump-metrics FILE``
+    scrapes the target's ``/metrics`` after the ramp (the smoke jobs
+    feed that file to ``tools/metrics_lint.py --check-exposition``).
     """
-    from repro.harness.loadgen import run_load
+    from repro.harness.loadgen import default_payload_instances, run_load
 
     rates = [float(r) for r in args.rate] if args.rate else [10.0, 25.0, 50.0]
+    payloads = default_payload_instances(
+        count=args.payload_count,
+        seed=args.seed,
+        tier=args.tier,
+        deadline_ms=args.deadline_ms,
+    )
     background = None
+    owned_service = None
     if args.url is None:
         from repro.net.server import BackgroundServer
 
-        background = BackgroundServer(
-            workers=args.workers, offload=args.offload
-        )
+        kwargs = {}
+        if args.cache_capacity is not None:
+            # NetworkServer only plumbs workers/queue_size/offload, so a
+            # custom cache capacity means building the service ourselves
+            # (and owning its shutdown below).
+            from repro.service.server import ConcurrentLabelingService
+
+            owned_service = ConcurrentLabelingService(
+                workers=args.workers,
+                offload=args.offload,
+                cache_capacity=args.cache_capacity,
+                **({} if args.queue_size is None
+                   else {"queue_size": args.queue_size}),
+            )
+            kwargs["service"] = owned_service
+        else:
+            kwargs["workers"] = args.workers
+            kwargs["offload"] = args.offload
+            if args.queue_size is not None:
+                kwargs["queue_size"] = args.queue_size
+        background = BackgroundServer(**kwargs)
         url = background.url
         print(f"self-serving on {url}", file=sys.stderr, flush=True)
     else:
         url = args.url
     try:
         report = run_load(
-            url, rates, duration=args.duration, seed=args.seed
+            url, rates, duration=args.duration, seed=args.seed,
+            payloads=payloads,
         )
         if args.dump_metrics:
             from urllib.request import urlopen
@@ -574,21 +604,34 @@ def _cmd_load(args: argparse.Namespace) -> int:
     finally:
         if background is not None:
             background.shutdown(drain=True)
+        if owned_service is not None:
+            owned_service.shutdown(wait=True)
     if args.json:
         print(json.dumps(report.to_json()))
     else:
-        print(f"{'rps':>8} {'sent':>6} {'err':>5} {'p50ms':>9} "
-              f"{'p95ms':>9} {'p99ms':>9} {'achieved':>9}")
+        print(f"{'rps':>8} {'sent':>6} {'err':>5} {'drop':>5} {'apx':>5} "
+              f"{'p50ms':>9} {'p95ms':>9} {'p99ms':>9} {'achieved':>9}")
         for step in report.steps:
             print(
-                f"{step.offered_rps:8.1f} {step.sent:6d} {step.errors:5d} "
+                f"{step.offered_rps:8.1f} {step.sent:6d} "
+                f"{step.errors + step.infeasible:5d} {step.dropped:5d} "
+                f"{step.approx:5d} "
                 f"{step.p50_ms:9.2f} {step.p95_ms:9.2f} {step.p99_ms:9.2f} "
                 f"{step.achieved_rps:9.1f}"
             )
-    if args.fail_on_errors and report.total_errors:
+    failed = report.total_errors + report.total_infeasible
+    if args.fail_on_errors and failed:
         print(
-            f"error: [overloaded] {report.total_errors} of "
-            f"{report.total_sent} requests failed",
+            f"error: [overloaded] {failed} of "
+            f"{report.total_sent} requests failed "
+            f"({report.total_infeasible} infeasible)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.expect_approx and not report.total_approx:
+        print(
+            "error: [no-degradation] expected at least one approx-tier "
+            "response, got none",
             file=sys.stderr,
         )
         return 1
@@ -772,11 +815,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-offload", dest="offload", action="store_false", default=None,
         help="self-serve mode: force inline solves",
     )
+    lo.add_argument("--queue-size", type=int, default=None,
+                    help="self-serve mode: submission-queue high-water mark")
+    lo.add_argument(
+        "--cache-capacity", type=int, default=None,
+        help="self-serve mode: result-cache capacity (small values keep "
+             "the traffic cold, the overload-smoke regime)",
+    )
+    lo.add_argument(
+        "--tier", choices=["exact", "approx", "auto"], default="auto",
+        help="QoS tier requested on every payload (default: auto — the "
+             "server's router decides per request)",
+    )
+    lo.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="latency budget stamped on every payload; the server drops "
+             "(504) work whose budget expired before solving",
+    )
+    lo.add_argument(
+        "--payload-count", type=int, default=4, metavar="N",
+        help="distinct instances in the payload pool (default: 4)",
+    )
     lo.add_argument("--json", action="store_true",
                     help="emit the full report as one JSON document")
     lo.add_argument(
         "--fail-on-errors", action="store_true",
-        help="exit 1 if any request failed (the CI load-smoke contract)",
+        help="exit 1 on any failed or infeasible request (the CI smoke "
+             "contract); intentional drops (429/504) never fail it",
+    )
+    lo.add_argument(
+        "--expect-approx", action="store_true",
+        help="exit 1 unless at least one response came from the approx "
+             "tier (the overload-smoke degradation check)",
     )
     lo.add_argument(
         "--dump-metrics", default=None, metavar="FILE",

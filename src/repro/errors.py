@@ -61,6 +61,17 @@ class ServiceOverloadedError(ReproError):
     """
 
 
+class DeadlineExpiredError(ReproError):
+    """A request's latency budget ran out before a solve started.
+
+    The QoS router drops expired work instead of solving it — the answer
+    could no longer be used — and counts the drop in
+    ``repro_router_expired_total``.  Intentional shedding, not a server
+    fault: the wire maps it to HTTP 504 and the load harness counts it as
+    ``dropped``, never as an error.
+    """
+
+
 class RequestValidationError(ReproError):
     """A wire payload failed schema validation before reaching a solver.
 
@@ -88,6 +99,7 @@ ERROR_TABLE: dict[type, tuple[str, int]] = {
     ServiceClosedError: ("service_closed", 503),
     WorkerCrashedError: ("worker_crashed", 503),
     ServiceOverloadedError: ("overloaded", 429),
+    DeadlineExpiredError: ("deadline_expired", 504),
     RequestValidationError: ("invalid_request", 400),
 }
 

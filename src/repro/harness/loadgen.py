@@ -16,6 +16,16 @@ latency, achieved rps, error rate — which together form the saturation
 curve the ``network_service`` perf scenario records into
 ``BENCH_<k>.json``.
 
+Outcomes are three-valued, mirroring the server's QoS ladder: a 200 is
+``completed``, a 429 (queue full) or 504 (deadline expired) is
+``dropped`` — intentional shedding, never counted in ``error_rate`` — and
+everything else (bad status, timeout, socket failure, unparseable or
+infeasible body) is an ``error``.  Payloads built through
+:func:`default_payload_instances` carry their instance, so every 200
+response's labeling is re-verified feasible on the client side; a wire
+answer that violates its own constraints counts as ``infeasible``, which
+fails ``load --fail-on-errors`` exactly like an error.
+
 Every request opens its own TCP connection and POSTs one pre-serialized
 :class:`~repro.service.protocol.SolveRequest` to ``/solve``, so each
 sample pays the full wire cost.  Payloads cycle through a small seeded
@@ -35,7 +45,9 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.graphs import generators as gen
-from repro.labeling.spec import L21
+from repro.graphs.graph import Graph
+from repro.labeling.labeling import Labeling
+from repro.labeling.spec import L21, LpSpec
 from repro.net.httpio import read_response, write_request
 from repro.service.protocol import SolveRequest
 
@@ -46,22 +58,71 @@ REQUEST_TIMEOUT = 30.0
 #: clear the server queue so steps measure their own offered rate.
 STEP_GAP_SECONDS = 0.1
 
+#: HTTP statuses that mean intentional shedding (backpressure 429, expired
+#: deadline 504) — counted as ``dropped``, never as errors.
+DROP_STATUSES = frozenset({429, 504})
 
-def default_payloads(
-    count: int = 4, n: int = 12, engine: str = "lk", seed: int = 0
-) -> list[bytes]:
-    """A seeded pool of pre-serialized ``/solve`` bodies.
+
+@dataclass(frozen=True)
+class PayloadInstance:
+    """One pre-serialized ``/solve`` body plus the instance it encodes.
+
+    Carrying the graph and spec next to the bytes lets the client re-verify
+    every 200 response's labeling against the constraints it was asked to
+    satisfy — the end-to-end feasibility floor of the overload smoke.
+    """
+
+    body: bytes
+    graph: Graph
+    spec: LpSpec
+
+
+def default_payload_instances(
+    count: int = 4,
+    n: int = 12,
+    engine: str = "lk",
+    seed: int = 0,
+    tier: str = "auto",
+    deadline_ms: int | None = None,
+) -> list[PayloadInstance]:
+    """A seeded pool of ``/solve`` bodies with their instances attached.
 
     ``count`` distinct diameter-2 instances of ``n`` vertices — small
     enough that the solve itself is cheap, distinct enough that the first
-    lap through the pool is all cache misses.
+    lap through the pool is all cache misses.  ``tier`` / ``deadline_ms``
+    parameterize the QoS fields on every request.
     """
     payloads = []
     for i in range(count):
         graph = gen.random_graph_with_diameter_at_most(n, 2, seed=seed + i)
-        request = SolveRequest(graph, L21, engine=engine, tag=f"load[{i}]")
-        payloads.append(json.dumps(request.to_json()).encode("utf-8"))
+        request = SolveRequest(
+            graph,
+            L21,
+            engine=engine,
+            tag=f"load[{i}]",
+            tier=tier,
+            deadline_ms=deadline_ms,
+        )
+        payloads.append(
+            PayloadInstance(
+                body=json.dumps(request.to_json()).encode("utf-8"),
+                graph=graph,
+                spec=L21,
+            )
+        )
     return payloads
+
+
+def default_payloads(
+    count: int = 4, n: int = 12, engine: str = "lk", seed: int = 0
+) -> list[bytes]:
+    """The historical bytes-only payload pool (no client-side verification)."""
+    return [
+        p.body
+        for p in default_payload_instances(
+            count=count, n=n, engine=engine, seed=seed
+        )
+    ]
 
 
 @dataclass(frozen=True)
@@ -71,17 +132,28 @@ class StepReport:
     offered_rps: float
     duration: float              # intended send window (seconds)
     sent: int
-    completed: int               # HTTP 200 responses
-    errors: int                  # non-200 responses, timeouts, socket errors
+    completed: int               # HTTP 200 responses (verified when possible)
+    errors: int                  # bad statuses, timeouts, socket errors
     achieved_rps: float          # completed / wall (wall includes tail drain)
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    #: 429/504 responses — intentional shedding, excluded from errors.
+    dropped: int = 0
+    #: 200 responses answered by the approx tier.
+    approx: int = 0
+    #: 200 responses whose labeling failed client-side verification.
+    infeasible: int = 0
 
     @property
     def error_rate(self) -> float:
-        """Errors as a fraction of requests sent."""
-        return self.errors / self.sent if self.sent else 0.0
+        """Errors (incl. infeasible answers) as a fraction of requests sent.
+
+        Drops are *not* errors: shedding under overload is the
+        backpressure/QoS design working, so ``load --fail-on-errors``
+        must not fail on it.
+        """
+        return (self.errors + self.infeasible) / self.sent if self.sent else 0.0
 
     def to_json(self) -> dict:
         """JSON row for reports and the perf trajectory."""
@@ -91,6 +163,9 @@ class StepReport:
             "sent": self.sent,
             "completed": self.completed,
             "errors": self.errors,
+            "dropped": self.dropped,
+            "approx": self.approx,
+            "infeasible": self.infeasible,
             "error_rate": round(self.error_rate, 4),
             "achieved_rps": round(self.achieved_rps, 2),
             "p50_ms": round(self.p50_ms, 3),
@@ -112,8 +187,23 @@ class LoadReport:
 
     @property
     def total_errors(self) -> int:
-        """Failed requests across every step."""
+        """Failed requests across every step (drops excluded)."""
         return sum(s.errors for s in self.steps)
+
+    @property
+    def total_dropped(self) -> int:
+        """Intentionally shed requests (429/504) across every step."""
+        return sum(s.dropped for s in self.steps)
+
+    @property
+    def total_approx(self) -> int:
+        """Approx-tier answers across every step."""
+        return sum(s.approx for s in self.steps)
+
+    @property
+    def total_infeasible(self) -> int:
+        """Responses that failed client-side feasibility verification."""
+        return sum(s.infeasible for s in self.steps)
 
     def to_json(self) -> dict:
         """JSON document (the ``repro-label load --json`` output)."""
@@ -121,11 +211,14 @@ class LoadReport:
             "steps": [s.to_json() for s in self.steps],
             "total_sent": self.total_sent,
             "total_errors": self.total_errors,
+            "total_dropped": self.total_dropped,
+            "total_approx": self.total_approx,
+            "total_infeasible": self.total_infeasible,
         }
 
 
-async def _exchange(host: str, port: int, payload: bytes) -> int:
-    """One fresh-connection ``/solve`` exchange; returns the HTTP status."""
+async def _exchange(host: str, port: int, payload: bytes) -> tuple[int, bytes]:
+    """One fresh-connection ``/solve`` exchange; ``(status, body)``."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
         write_request(writer, "POST", "/solve", payload)
@@ -133,23 +226,53 @@ async def _exchange(host: str, port: int, payload: bytes) -> int:
         response = await read_response(reader)
     finally:
         writer.close()
-    return response.status
+    return response.status, response.body
+
+
+def _classify(
+    status: int, body: bytes, payload: PayloadInstance | bytes
+) -> tuple[str, bool]:
+    """``(kind, approx)`` for one wire outcome.
+
+    ``kind`` is one of ``ok`` / ``dropped`` / ``infeasible`` / ``error``;
+    feasibility is only checked when the payload carries its instance.
+    """
+    if status in DROP_STATUSES:
+        return "dropped", False
+    if status != 200:
+        return "error", False
+    try:
+        record = json.loads(body)
+        approx = record.get("tier") == "approx"
+        if isinstance(payload, PayloadInstance):
+            labeling = Labeling.from_sequence(record["labels"])
+            if not labeling.is_feasible(payload.graph, payload.spec):
+                return "infeasible", approx
+    except (ValueError, KeyError, TypeError, ReproError):
+        return "error", False
+    return "ok", approx
 
 
 async def _one_request(
-    host: str, port: int, payload: bytes, timeout: float
-) -> tuple[bool, float]:
-    """Fire one ``/solve`` over a fresh connection; ``(ok, latency_s)``."""
+    host: str,
+    port: int,
+    payload: PayloadInstance | bytes,
+    timeout: float,
+) -> tuple[str, float, bool]:
+    """Fire one ``/solve`` over a fresh connection; ``(kind, latency, approx)``."""
     loop = asyncio.get_running_loop()
+    body = payload.body if isinstance(payload, PayloadInstance) else payload
     t0 = loop.time()
     try:
-        status = await asyncio.wait_for(
-            _exchange(host, port, payload), timeout=timeout
+        status, reply = await asyncio.wait_for(
+            _exchange(host, port, body), timeout=timeout
         )
-        return status == 200, loop.time() - t0
     except (ReproError, ConnectionError, OSError, TimeoutError,
             asyncio.TimeoutError, asyncio.IncompleteReadError):
-        return False, loop.time() - t0
+        return "error", loop.time() - t0, False
+    latency = loop.time() - t0
+    kind, approx = _classify(status, reply, payload)
+    return kind, latency, approx
 
 
 async def _run_step(
@@ -157,7 +280,7 @@ async def _run_step(
     port: int,
     rate: float,
     duration: float,
-    payloads: list[bytes],
+    payloads: list,
     rng: np.random.Generator,
     timeout: float,
 ) -> StepReport:
@@ -186,16 +309,23 @@ async def _run_step(
         t_next += float(rng.exponential(1.0 / rate))
     outcomes = await asyncio.gather(*tasks)
     wall = loop.time() - t_start         # includes the tail drain
-    latencies = [sec for ok, sec in outcomes if ok]
-    errors = sum(1 for ok, _ in outcomes if not ok)
+    latencies = [sec for kind, sec, _ in outcomes if kind == "ok"]
+    counts = {"ok": 0, "dropped": 0, "infeasible": 0, "error": 0}
+    approx = 0
+    for kind, _sec, was_approx in outcomes:
+        counts[kind] += 1
+        approx += was_approx
     lat_ms = np.asarray(latencies) * 1e3
     return StepReport(
         offered_rps=rate,
         duration=duration,
         sent=len(tasks),
-        completed=len(latencies),
-        errors=errors,
-        achieved_rps=len(latencies) / wall if wall > 0 else 0.0,
+        completed=counts["ok"],
+        errors=counts["error"],
+        dropped=counts["dropped"],
+        approx=approx,
+        infeasible=counts["infeasible"],
+        achieved_rps=counts["ok"] / wall if wall > 0 else 0.0,
         p50_ms=float(np.percentile(lat_ms, 50)) if latencies else 0.0,
         p95_ms=float(np.percentile(lat_ms, 95)) if latencies else 0.0,
         p99_ms=float(np.percentile(lat_ms, 99)) if latencies else 0.0,
@@ -207,15 +337,20 @@ async def run_ramp(
     port: int,
     rates: list[float],
     duration: float = 2.0,
-    payloads: list[bytes] | None = None,
+    payloads: list | None = None,
     seed: int = 0,
     timeout: float = REQUEST_TIMEOUT,
 ) -> LoadReport:
-    """Sweep the offered rates in order; one :class:`StepReport` each."""
+    """Sweep the offered rates in order; one :class:`StepReport` each.
+
+    ``payloads`` may hold raw ``bytes`` bodies or
+    :class:`PayloadInstance` objects; the latter enable client-side
+    feasibility verification of every 200 response.
+    """
     if not rates or any(r <= 0 for r in rates):
         raise ReproError(f"rates must be positive, got {rates}")
     if payloads is None:
-        payloads = default_payloads(seed=seed)
+        payloads = default_payload_instances(seed=seed)
     rng = np.random.default_rng(seed)
     steps = []
     for rate in rates:
@@ -230,7 +365,7 @@ def run_load(
     url: str,
     rates: list[float],
     duration: float = 2.0,
-    payloads: list[bytes] | None = None,
+    payloads: list | None = None,
     seed: int = 0,
     timeout: float = REQUEST_TIMEOUT,
 ) -> LoadReport:

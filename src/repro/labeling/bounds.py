@@ -38,16 +38,21 @@ def lower_bound(graph: Graph, spec: LpSpec, dist: np.ndarray | None = None) -> i
 
     # max positive distance; streamed per row block when no matrix exists
     # (positive entries exist iff the global max is positive — entries are
-    # -1, 0 or a path length)
+    # -1, 0 or a path length).  An unreachable pair (-1) voids the
+    # all-pairs argument: "every pair within distance k" is false, so the
+    # (n-1)*pmin bound would overshoot the optimum on disconnected graphs.
+    unreachable = False
     if dist is not None:
         d = np.asarray(dist)
         dmax = int(d.max()) if d.size else 0
+        unreachable = bool((d < 0).any())
     else:
         dmax = 0
         for _lo, _hi, blk in get_analysis(graph).iter_row_blocks():
             if blk.size:
                 dmax = max(dmax, int(blk.max()))
-    if dmax >= 1 and dmax <= spec.k and spec.pmin >= 1:
+                unreachable = unreachable or bool((blk < 0).any())
+    if not unreachable and dmax >= 1 and dmax <= spec.k and spec.pmin >= 1:
         best = max(best, (n - 1) * spec.pmin)
 
     delta = graph.max_degree()

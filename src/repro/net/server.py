@@ -16,7 +16,9 @@ server (no third-party framework) that speaks the
     line as solves finish).  Per-request failures become error lines
     tagged with the request's ``tag``; the stream keeps going.
 ``GET /stats``
-    The labeling service's :meth:`ServerStats.to_json` snapshot.
+    The labeling service's :meth:`ServerStats.to_json` snapshot, plus the
+    QoS router's state under ``"router"`` (per-tier routing counts,
+    degradations, deadline drops, thresholds).
 ``GET /metrics``
     Prometheus text exposition (format 0.0.4) straight from the process
     :data:`~repro.obs.metrics.REGISTRY`.
@@ -224,7 +226,9 @@ class NetworkServer:
             body = {"status": "draining" if self._closing else "ok"}
             return self._json(writer, 200, body)
         if path == "/stats":
-            return self._json(writer, 200, self.service.stats.to_json())
+            payload = self.service.stats.to_json()
+            payload["router"] = self.service.router.to_json()
+            return self._json(writer, 200, payload)
         if path == "/metrics":
             text = REGISTRY.render_prom().encode("utf-8")
             write_response(writer, 200, text, content_type=PROM_CONTENT_TYPE)

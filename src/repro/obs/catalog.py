@@ -174,6 +174,38 @@ CATALOG: dict[str, tuple[str, str]] = {
         "pool's workers (1.0 = perfectly balanced routing; the price of "
         "key-affinity routing shows up here, not in lost cache warmth).",
     ),
+    # ---- QoS router + approx tier --------------------------------------
+    "repro_router_requests_total": (
+        COUNTER,
+        "Requests routed by the QoS router, by the tier it picked "
+        "(label: tier = exact | approx).",
+    ),
+    "repro_router_degraded_total": (
+        COUNTER,
+        "Auto-tier requests the QoS router downgraded to the approx tier "
+        "(queue pressure, instance size, or a tight deadline).",
+    ),
+    "repro_router_expired_total": (
+        COUNTER,
+        "Requests dropped because their deadline expired before a solve "
+        "started (intentional shedding — counted, never errored).",
+    ),
+    "repro_approx_solves_total": (
+        COUNTER,
+        "One-pass simplify/select approximate solves run by the degraded "
+        "tier.",
+    ),
+    "repro_approx_gap": (
+        GAUGE,
+        "Certified optimality gap (span - lower_bound) of the most recent "
+        "approximate solve.",
+    ),
+    "repro_approx_ratio": (
+        GAUGE,
+        "Certified approximation ratio (span / lower_bound) of the most "
+        "recent approximate solve — the perf-gated approx_ratio signal's "
+        "live mirror.",
+    ),
     # ---- request latency ----------------------------------------------
     "repro_request_seconds": (
         HISTOGRAM,
@@ -187,6 +219,11 @@ CATALOG: dict[str, tuple[str, str]] = {
     "repro_solve_seconds": (
         HISTOGRAM,
         "Engine solve wall time for cold requests (inline or offloaded).",
+    ),
+    "repro_tier_request_seconds": (
+        HISTOGRAM,
+        "Worker processing time for cold requests, by the quality tier "
+        "that answered (label: tier = exact | approx).",
     ),
     # ---- network front end --------------------------------------------
     "repro_http_requests_total": (

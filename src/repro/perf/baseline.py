@@ -39,7 +39,11 @@ _NOISE_FLOOR = 1.15
 #: value may not exceed baseline + slack, ``min`` means it may not fall
 #: below baseline - slack, ``floor`` means the current value must reach the
 #: stated absolute threshold (baseline-independent — the threshold *is* the
-#: acceptance criterion, not a drift bound).
+#: acceptance criterion, not a drift bound), and ``ceiling`` means the
+#: current value may exceed neither the stated absolute threshold nor the
+#: committed baseline by more than :data:`_CEILING_DRIFT` (both at once:
+#: the threshold is the acceptance criterion, the baseline check keeps a
+#: good value from quietly eroding back up to it).
 METRIC_GATES: dict[str, tuple[str, float]] = {
     "apsp_run_count": ("max", 0.0),
     "cache_hit_rate": ("min", 0.02),
@@ -62,12 +66,24 @@ METRIC_GATES: dict[str, tuple[str, float]] = {
     # and the block hit rate may never fall below baseline - slack
     "oracle_peak_bytes": ("max", 0.0),
     "row_block_hit_rate": ("min", 0.02),
+    # degraded tier quality (QOS scenario): the worst certified
+    # span/lower_bound ratio over the deterministic payload pool.  The
+    # 1.5 absolute ceiling is the acceptance criterion; the
+    # baseline-relative check below it means the ratio may never worsen
+    # even while comfortably under the ceiling
+    "approx_ratio": ("ceiling", 1.5),
 }
 
 #: ``floor``-gated metrics are only enforceable when the measuring run had
 #: the cores to show scaling; below this effective-CPU count the floor is
 #: skipped (the metric is still recorded and still must be present).
 _FLOOR_MIN_CPUS = 4
+
+#: Baseline-relative allowance for ``ceiling``-gated metrics: the current
+#: value may sit this far above the committed baseline before it counts as
+#: erosion.  The certified ratio is deterministic over a fixed payload
+#: pool, so this only needs to absorb pool re-seeds, not measurement noise.
+_CEILING_DRIFT = 0.05
 
 #: Verdict statuses that do NOT fail the comparison.
 PASSING = frozenset({"ok", "slower", "new", "skipped"})
@@ -198,6 +214,16 @@ def _compare_metrics(cur: PerfRecord, base: PerfRecord) -> list[str]:
                 violations.append(
                     f"{name} {c:g} below required floor {slack:g} "
                     f"(effective_cpus={cpus:g})"
+                )
+        elif direction == "ceiling":
+            if c > slack:
+                violations.append(
+                    f"{name} {c:g} above absolute ceiling {slack:g}"
+                )
+            elif c > b + _CEILING_DRIFT:
+                violations.append(
+                    f"{name} worsened {b:g} -> {c:g} "
+                    f"(drift allowance {_CEILING_DRIFT:g})"
                 )
     return violations
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.approx import APPROX_ENGINE, approx_labeling
 from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
@@ -174,6 +175,28 @@ class BatchSolver:
         )
 
     # ------------------------------------------------------------------
+    def _solve_approx_inline(
+        self, form: CanonicalForm, request: SolveRequest
+    ) -> tuple[CachedSolve, float]:
+        """Degraded-tier solve in canonical coordinates, with certificate.
+
+        Always inline — the one-pass simplify/select solver is cheap enough
+        that a process hop would dominate it.  Like :meth:`_solve_inline`,
+        the canonical graph's distance oracle is pre-seeded from the
+        request's, so no extra APSP runs.
+        """
+        canonical = canonical_instance(form, request.graph)
+        res = approx_labeling(canonical, request.spec)
+        entry = CachedSolve(
+            labels=res.labeling.labels,
+            span=res.span,
+            engine=APPROX_ENGINE,
+            exact=False,
+            gap=res.gap,
+        )
+        return entry, res.seconds
+
+    # ------------------------------------------------------------------
     def solve_batch(
         self, requests: list[SolveRequest]
     ) -> tuple[list[ServiceResult], BatchReport]:
@@ -209,7 +232,11 @@ class BatchSolver:
         # from the request's — the APSP paid for during key derivation is
         # the only one the whole submit→solve→verify path ever runs.
         jobs = []
+        approx_owned: list[tuple[str, int]] = []
         for key, i in owners.items():
+            if _resolved_tier(requests[i]) == "approx":
+                approx_owned.append((key, i))
+                continue
             form = forms[i]
             jobs.append(
                 (key, form.n, form.edges, requests[i].spec.p, requests[i].engine)
@@ -232,6 +259,16 @@ class BatchSolver:
                 )
 
         engine_seconds: dict[str, float] = {}
+        for key, i in approx_owned:
+            entry, seconds = self._solve_approx_inline(forms[i], requests[i])
+            if self.cache is not None:
+                self.cache.put(key, entry)
+            results[i] = _answer(
+                requests[i], forms[i], key, entry, cached=False, seconds=seconds
+            )
+            engine_seconds[APPROX_ENGINE] = (
+                engine_seconds.get(APPROX_ENGINE, 0.0) + seconds
+            )
         for key, labels, span, engine, exact, seconds in outcomes:
             entry = CachedSolve(
                 labels=labels, span=span, engine=engine, exact=exact
@@ -264,6 +301,7 @@ class BatchSolver:
                     span=owner.span,
                     engine=owner.engine,
                     exact=owner.exact,
+                    gap=owner.gap,
                 )
             results[i] = _answer(requests[i], forms[i], keys[i], entry, cached=True)
 
@@ -273,7 +311,7 @@ class BatchSolver:
             unique=len(set(keys)),
             cache_hits=cache_hits,
             deduped=len(duplicates),
-            solved=len(jobs),
+            solved=len(jobs) + len(approx_owned),
             wall_seconds=wall,
             engine_seconds=engine_seconds,
         )
@@ -282,14 +320,34 @@ class BatchSolver:
         return final, report
 
 
-def _composed_key(form: CanonicalForm, req: SolveRequest) -> str:
+def _resolved_tier(req: SolveRequest, tier: str | None = None) -> str:
+    """The quality tier a non-routed path answers with.
+
+    ``tier`` (the router's decision) wins when given; otherwise an explicit
+    ``"approx"`` request is honoured and ``"auto"`` degrades to ``"exact"``
+    — only a :class:`~repro.service.server.QosRouter` ever downgrades an
+    ``auto`` request, never a plain service.
+    """
+    if tier is not None:
+        return tier
+    return "approx" if req.tier == "approx" else "exact"
+
+
+def _composed_key(
+    form: CanonicalForm, req: SolveRequest, tier: str | None = None
+) -> str:
     """Cache key: canonical (graph, spec) hash plus the requested engine.
 
     The engine is part of the key because heuristic engines answer with
     different spans; a request for ``held_karp`` must never be served a
     cached ``two_opt`` labeling.  ``auto`` is deterministic in the canonical
-    graph, so it composes consistently.
+    graph, so it composes consistently.  Approx-tier answers live under
+    their own suffix for the same reason — an exact request must never be
+    served a degraded labeling, nor the reverse (no engine is named
+    ``approx``, so the suffix cannot collide).
     """
+    if _resolved_tier(req, tier) == "approx":
+        return f"{form.key}:approx"
     return f"{form.key}:{req.engine}"
 
 
@@ -312,4 +370,6 @@ def _answer(
         key=key,
         seconds=seconds,
         tag=req.tag,
+        tier="approx" if entry.gap is not None else "exact",
+        gap=entry.gap,
     )

@@ -37,6 +37,9 @@ class CachedSolve:
     span: int
     engine: str                  # resolved engine that produced the labels
     exact: bool
+    #: Certified optimality gap for approx-tier entries; ``None`` marks an
+    #: exact-tier entry (the tier is recoverable from this field alone).
+    gap: int | None = None
 
     def to_json(self) -> dict:
         """JSON form (labels as a list)."""
@@ -45,16 +48,23 @@ class CachedSolve:
             "span": self.span,
             "engine": self.engine,
             "exact": self.exact,
+            "gap": self.gap,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "CachedSolve":
-        """Parse one persisted entry, coercing value types."""
+        """Parse one persisted entry, coercing value types.
+
+        ``gap`` is optional so cache files persisted before the approx
+        tier existed still load.
+        """
+        gap = data.get("gap")
         return cls(
             labels=tuple(int(x) for x in data["labels"]),
             span=int(data["span"]),
             engine=str(data["engine"]),
             exact=bool(data["exact"]),
+            gap=None if gap is None else int(gap),
         )
 
 

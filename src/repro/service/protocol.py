@@ -32,6 +32,9 @@ from repro.graphs.graph import Graph
 from repro.labeling.labeling import Labeling
 from repro.labeling.spec import LpSpec
 
+#: The quality tiers a request may ask for (``auto`` defers to the router).
+TIERS = frozenset({"exact", "approx", "auto"})
+
 
 @dataclass(frozen=True)
 class SolveRequest:
@@ -41,6 +44,16 @@ class SolveRequest:
     spec: LpSpec
     engine: str = "auto"
     tag: str | None = None       # caller's correlation id (file name, ...)
+    #: Requested quality tier: ``"exact"`` forces the full engine pipeline,
+    #: ``"approx"`` forces the one-pass degraded solver, ``"auto"`` lets
+    #: the serving side's :class:`~repro.service.server.QosRouter` decide
+    #: from current pressure.  Plain (non-routed) services treat ``auto``
+    #: as ``exact``.
+    tier: str = "auto"
+    #: Client latency budget in milliseconds; the serving side drops the
+    #: request (HTTP 504, counted not errored) once the budget is spent
+    #: before a solve starts.  ``None`` means no deadline.
+    deadline_ms: int | None = None
     #: Optional pre-computed oracle for ``graph`` (e.g. a session's
     #: delta-repaired one); forwarded into canonicalization, where a stale
     #: or foreign analysis is rejected loudly.  Never serialized and never
@@ -51,8 +64,8 @@ class SolveRequest:
     def to_json(self) -> dict:
         """The wire form: plain JSON-ready dict (``analysis`` excluded).
 
-        >>> SolveRequest(Graph(3, [(0, 1), (1, 2)]), LpSpec((2, 1))).to_json()
-        {'n': 3, 'edges': [[0, 1], [1, 2]], 'p': [2, 1], 'engine': 'auto', 'tag': None}
+        >>> SolveRequest(Graph(2, [(0, 1)]), LpSpec((2,))).to_json()
+        {'n': 2, 'edges': [[0, 1]], 'p': [2], 'engine': 'auto', 'tag': None, 'tier': 'auto', 'deadline_ms': None}
         """
         return {
             "n": self.graph.n,
@@ -60,6 +73,8 @@ class SolveRequest:
             "p": list(self.spec.p),
             "engine": self.engine,
             "tag": self.tag,
+            "tier": self.tier,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -74,7 +89,9 @@ class SolveRequest:
             raise RequestValidationError(
                 f"request must be a JSON object, got {type(payload).__name__}"
             )
-        unknown = set(payload) - {"n", "edges", "p", "engine", "tag"}
+        unknown = set(payload) - {
+            "n", "edges", "p", "engine", "tag", "tier", "deadline_ms",
+        }
         if unknown:
             raise RequestValidationError(
                 f"unknown request fields: {sorted(unknown)}"
@@ -111,12 +128,33 @@ class SolveRequest:
         tag = payload.get("tag")
         if tag is not None and not isinstance(tag, str):
             raise RequestValidationError(f"'tag' must be a string or null, got {tag!r}")
+        tier = payload.get("tier", "auto")
+        if tier not in TIERS:
+            raise RequestValidationError(
+                f"'tier' must be one of {sorted(TIERS)}, got {tier!r}"
+            )
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, int)
+            or isinstance(deadline_ms, bool)
+            or deadline_ms < 1
+        ):
+            raise RequestValidationError(
+                f"'deadline_ms' must be a positive int or null, got {deadline_ms!r}"
+            )
         try:
             graph = Graph(n, [(u, v) for u, v in edges])
             spec = LpSpec(tuple(p))
         except ReproError as exc:
             raise RequestValidationError(str(exc)) from exc
-        return cls(graph=graph, spec=spec, engine=engine, tag=tag)
+        return cls(
+            graph=graph,
+            spec=spec,
+            engine=engine,
+            tag=tag,
+            tier=tier,
+            deadline_ms=deadline_ms,
+        )
 
     @classmethod
     def from_json_line(cls, line: str | bytes) -> "SolveRequest":
@@ -146,6 +184,12 @@ class SolveResponse:
     key: str                     # canonical cache key of the request
     seconds: float               # solve wall time (0.0 for cache hits)
     tag: str | None = None
+    #: Quality tier that actually answered (``"exact"`` or ``"approx"``) —
+    #: the router's decision, not necessarily the tier requested.
+    tier: str = "exact"
+    #: Certified optimality gap (``span - lower_bound``) for approx-tier
+    #: answers; ``None`` on the exact tier.
+    gap: int | None = None
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
@@ -159,6 +203,8 @@ class SolveResponse:
             "key": self.key,
             "seconds": self.seconds,
             "tag": self.tag,
+            "tier": self.tier,
+            "gap": self.gap,
         }
 
     @classmethod
@@ -172,6 +218,7 @@ class SolveResponse:
             labels = payload["labels"]
             if not isinstance(labels, list):
                 raise RequestValidationError("'labels' must be a list of ints")
+            gap = payload.get("gap")
             return cls(
                 labeling=Labeling.from_sequence(labels),
                 span=int(payload["span"]),
@@ -181,6 +228,8 @@ class SolveResponse:
                 key=str(payload["key"]),
                 seconds=float(payload["seconds"]),
                 tag=payload.get("tag"),
+                tier=str(payload.get("tier", "exact")),
+                gap=None if gap is None else int(gap),
             )
         except RequestValidationError:
             raise

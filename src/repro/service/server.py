@@ -52,6 +52,7 @@ from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass, field
 
 from repro.errors import (
+    DeadlineExpiredError,
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -94,6 +95,105 @@ for _family in _STAT_COUNTERS.values():
 del _family
 _HIGH_WATER_GAUGE = REGISTRY.gauge("repro_queue_high_water")
 _HIGH_WATER_GAUGE.labels()
+
+#: Per-tier router/latency families, children materialized at import so the
+#: exposition shows zeroed series for both tiers before any traffic.
+_ROUTER_TIER_COUNTERS = {
+    tier: REGISTRY.counter("repro_router_requests_total").labels(tier=tier)
+    for tier in ("exact", "approx")
+}
+_ROUTER_DEGRADED = REGISTRY.counter("repro_router_degraded_total")
+_ROUTER_DEGRADED.labels()
+_ROUTER_EXPIRED = REGISTRY.counter("repro_router_expired_total")
+_ROUTER_EXPIRED.labels()
+_TIER_SECONDS = {
+    tier: REGISTRY.histogram("repro_tier_request_seconds").labels(tier=tier)
+    for tier in ("exact", "approx")
+}
+
+
+@dataclass
+class QosRouter:
+    """Per-request quality-of-service tier selection under pressure.
+
+    The router turns two-valued backpressure (block / 429) into a graceful
+    ladder: ``exact`` while the queue is shallow, ``approx`` as pressure
+    rises (or the instance is too large, or the deadline too tight, for an
+    exact solve to make sense), and the queue's existing high-water
+    rejection stays the 429 of last resort.  Explicit ``tier="exact"`` /
+    ``tier="approx"`` requests are always honoured — only ``auto`` is
+    routed.
+
+    Deadline-expired work is dropped *before* a solve starts
+    (:meth:`note_expired`); the drop is counted, never recorded as a server
+    error.
+    """
+
+    #: The serving queue's high-water mark (the 429 threshold).
+    queue_size: int
+    #: Fraction of ``queue_size`` past which ``auto`` degrades to approx.
+    approx_pressure: float = 0.5
+    #: ``auto`` instances above this vertex count always go approx — an
+    #: exact engine run on them would monopolize a worker.
+    large_n: int = 256
+    #: ``auto`` requests with less remaining budget than this go approx.
+    min_exact_deadline_ms: int = 250
+    exact: int = 0
+    approx: int = 0
+    #: ``auto`` requests downgraded to approx (subset of ``approx``).
+    degraded: int = 0
+    #: Requests dropped because their deadline expired before solving.
+    expired: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def approx_depth(self) -> int:
+        """Queue depth at which ``auto`` requests start degrading."""
+        return max(1, int(self.approx_pressure * self.queue_size))
+
+    def route(self, request: SolveRequest, queue_depth: int) -> str:
+        """Pick the answering tier for one request (and count the decision)."""
+        if request.tier in ("exact", "approx"):
+            tier, downgraded = request.tier, False
+        else:
+            downgraded = (
+                queue_depth >= self.approx_depth
+                or request.graph.n > self.large_n
+                or (
+                    request.deadline_ms is not None
+                    and request.deadline_ms < self.min_exact_deadline_ms
+                )
+            )
+            tier = "approx" if downgraded else "exact"
+        with self._lock:
+            setattr(self, tier, getattr(self, tier) + 1)
+            if downgraded:
+                self.degraded += 1
+        _ROUTER_TIER_COUNTERS[tier].inc()
+        if downgraded:
+            _ROUTER_DEGRADED.inc()
+        return tier
+
+    def note_expired(self) -> None:
+        """Count one deadline-expired drop."""
+        with self._lock:
+            self.expired += 1
+        _ROUTER_EXPIRED.inc()
+
+    def to_json(self) -> dict:
+        """Routing counters + thresholds, the shape ``/stats`` exposes."""
+        with self._lock:
+            return {
+                "exact": self.exact,
+                "approx": self.approx,
+                "degraded": self.degraded,
+                "expired": self.expired,
+                "approx_depth": self.approx_depth,
+                "large_n": self.large_n,
+                "min_exact_deadline_ms": self.min_exact_deadline_ms,
+            }
 
 
 @dataclass
@@ -212,6 +312,11 @@ class _Job:
     #: ``perf_counter`` timestamp taken just before ``queue.put`` — the
     #: queue-wait histogram measures from here to worker pickup.
     enqueued: float = 0.0
+    #: Tier the router picked for this job (``"exact"`` or ``"approx"``).
+    tier: str = "exact"
+    #: Absolute ``perf_counter`` deadline; the worker drops the job unsolved
+    #: once it passes (``None`` = no deadline).
+    deadline: float | None = None
 
 
 class ConcurrentLabelingService:
@@ -255,6 +360,7 @@ class ConcurrentLabelingService:
         cache_capacity: int = 4096,
         cache_shards: int | None = None,
         start_method: str | None = None,
+        router: QosRouter | None = None,
     ) -> None:
         """Build the queue, cache-backed service, and start the workers."""
         if workers < 1:
@@ -265,6 +371,9 @@ class ConcurrentLabelingService:
             kwargs = {} if cache_shards is None else {"cache_shards": cache_shards}
             service = LabelingService(cache_capacity=cache_capacity, **kwargs)
         self.service = service
+        #: Tier selection policy; pass a pre-configured :class:`QosRouter`
+        #: to tune the degradation thresholds.
+        self.router = router if router is not None else QosRouter(queue_size)
         self.workers = workers
         self.block = block
         self.stats = ServerStats()
@@ -383,10 +492,16 @@ class ConcurrentLabelingService:
         request = as_request(
             request, spec, engine=engine, tag=tag, analysis=analysis
         )
+        tier = self.router.route(request, self._queue.qsize())
+        deadline = (
+            t_submit + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
         form = canonical_form(
             request.graph, request.spec, analysis=request.analysis
         )
-        key = _composed_key(form, request)
+        key = _composed_key(form, request, tier=tier)
         block = self.block if block is None else block
 
         # Fast path: a warm cache answers without touching the queue.  The
@@ -420,6 +535,8 @@ class ConcurrentLabelingService:
                     request=request,
                     form=form,
                     ctx=TRACER.current_context(),
+                    tier=tier,
+                    deadline=deadline,
                 )
                 internal = job.internal
                 self._inflight[key] = internal
@@ -544,9 +661,27 @@ class ConcurrentLabelingService:
                 self._queue.task_done()
 
     def _process(self, job: _Job) -> None:
-        """Answer one queued job: re-probe the cache, else solve and publish."""
+        """Answer one queued job: re-probe the cache, else solve and publish.
+
+        Deadline-expired jobs are dropped *before* any solve: the answer
+        could no longer be used, so spending a worker on it would only
+        deepen the overload.  The drop is counted by the router (and in
+        ``repro_router_expired_total``), not in the error stats — shedding
+        is the design working, not a fault.
+        """
         if job.enqueued:
             self._m_queue_wait.observe(time.perf_counter() - job.enqueued)
+        if job.deadline is not None and time.perf_counter() > job.deadline:
+            with self._lock:
+                self._inflight.pop(job.key, None)
+            self.router.note_expired()
+            job.internal.set_exception(
+                DeadlineExpiredError(
+                    f"deadline of {job.request.deadline_ms} ms expired "
+                    f"before solving started; request dropped"
+                )
+            )
+            return
         # Re-probe: the entry may have been cached between this job's
         # submission and now (an identical earlier job finished).  Without
         # this check the submit-probe/finish race could double-solve.
@@ -562,7 +697,16 @@ class ConcurrentLabelingService:
             job.request.engine,
         )
         try:
-            if self._pool is not None:
+            if job.tier == "approx":
+                # the one-pass degraded solver never offloads — a process
+                # hop would cost more than the solve itself
+                entry, seconds = self.service.solver._solve_approx_inline(
+                    job.form, job.request
+                )
+                labels, span = entry.labels, entry.span
+                engine, exact = entry.engine, entry.exact
+                gap = entry.gap
+            elif self._pool is not None:
                 ctx = TRACER.current_context()
                 ctx_row = (
                     {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
@@ -580,12 +724,14 @@ class ConcurrentLabelingService:
                     )
                 finally:
                     self._arena.release(job.form.key)
+                gap = None
             else:
                 _key, labels, span, engine, exact, seconds = (
                     self.service.solver._solve_inline(
                         plain, job.form, job.request
                     )
                 )
+                gap = None
         except BaseException as exc:  # engine failures must reach the waiters
             with self._lock:
                 self._inflight.pop(job.key, None)
@@ -593,7 +739,10 @@ class ConcurrentLabelingService:
             job.internal.set_exception(exc)
             return
         self._m_solve.observe(seconds)
-        entry = CachedSolve(labels=labels, span=span, engine=engine, exact=exact)
+        _TIER_SECONDS[job.tier].observe(seconds)
+        entry = CachedSolve(
+            labels=labels, span=span, engine=engine, exact=exact, gap=gap
+        )
         self.cache.put(job.key, entry)
         self._finish(job, entry, cached=False, seconds=seconds)
 

@@ -293,6 +293,48 @@ class TestComparator:
         assert not report.passed
         assert "missing" in report.verdicts[0].detail
 
+    @staticmethod
+    def _ratio_pair(current_ratio: float, base_ratio: float = 1.4):
+        """(current, base) trajectories carrying one qos_overload record."""
+        record = lambda r: PerfRecord(  # noqa: E731 - tiny local factory
+            "qos_overload:quick", (0.01, 0.011, 0.01),
+            {"approx_ratio": r},
+        )
+        base = make_trajectory(records=[record(base_ratio)])
+        current = make_trajectory(records=[record(current_ratio)])
+        return current, base
+
+    def test_approx_ratio_ceiling_fails_above_absolute_limit(self):
+        current, base = self._ratio_pair(current_ratio=1.6, base_ratio=1.45)
+        report = compare(current, base)
+        assert not report.passed
+        verdict = report.verdicts[0]
+        assert verdict.status == "metric-regression"
+        assert "approx_ratio" in verdict.detail
+        assert "ceiling" in verdict.detail
+
+    def test_approx_ratio_ceiling_fails_on_worsening_under_limit(self):
+        # still under 1.5, but well above the committed baseline: the
+        # quality the repo already banked may not quietly erode
+        current, base = self._ratio_pair(current_ratio=1.49, base_ratio=1.2)
+        report = compare(current, base)
+        assert not report.passed
+        assert "worsened" in report.verdicts[0].detail
+
+    def test_approx_ratio_ceiling_passes_at_baseline_and_better(self):
+        for ratio in (1.4, 1.42, 1.1):
+            current, base = self._ratio_pair(current_ratio=ratio)
+            assert compare(current, base).passed, ratio
+
+    def test_approx_ratio_metric_must_stay_present(self):
+        current, base = self._ratio_pair(current_ratio=1.4)
+        current.records[0] = PerfRecord(
+            "qos_overload:quick", (0.01, 0.011, 0.01), {}
+        )
+        report = compare(current, base)
+        assert not report.passed
+        assert "missing" in report.verdicts[0].detail
+
     def test_new_and_skipped_records_pass(self):
         base = make_trajectory()
         current = make_trajectory(

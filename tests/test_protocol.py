@@ -103,6 +103,55 @@ def test_response_roundtrip_property(labels, span, engine, exact, cached,
     assert back == resp  # frozen dataclasses: full field equality
 
 
+def test_request_roundtrip_tier_and_deadline():
+    g = gen.cycle_graph(6)
+    for tier, deadline_ms in [("exact", None), ("approx", 100),
+                              ("auto", 1), ("auto", None)]:
+        req = SolveRequest(g, L21, engine="lk", tier=tier,
+                           deadline_ms=deadline_ms)
+        for back in (
+            SolveRequest.from_json(req.to_json()),
+            SolveRequest.from_json_line(json.dumps(req.to_json())),
+        ):
+            assert back.tier == tier
+            assert back.deadline_ms == deadline_ms
+            assert back.graph == req.graph and back.spec == req.spec
+
+
+def test_response_roundtrip_tier_and_gap():
+    for tier, gap in [("exact", None), ("approx", 0), ("approx", 3)]:
+        resp = SolveResponse(
+            labeling=Labeling((0, 2, 4)), span=4, engine="lk",
+            exact=False, cached=False, key="k:approx", seconds=0.1,
+            tier=tier, gap=gap,
+        )
+        wire = json.loads(json.dumps(resp.to_json()))
+        assert wire["tier"] == tier and wire["gap"] == gap
+        assert SolveResponse.from_json(wire) == resp
+
+
+def test_old_clients_omitting_new_fields_still_parse():
+    """Pre-QoS payloads carry neither tier nor deadline/gap — defaults apply."""
+    req = SolveRequest.from_json({"n": 2, "edges": [[0, 1]], "p": [2, 1]})
+    assert req.tier == "auto" and req.deadline_ms is None
+    resp = SolveResponse.from_json({
+        "labels": [0, 2], "span": 2, "engine": "lk", "exact": True,
+        "cached": False, "key": "k:lk", "seconds": 0.0,
+    })
+    assert resp.tier == "exact" and resp.gap is None
+
+
+def test_explicit_approx_tier_answers_with_certificate():
+    resp = LabelingService().submit(
+        SolveRequest(gen.cycle_graph(5), L21, tier="approx")
+    )
+    assert resp.tier == "approx"
+    assert resp.gap is not None and resp.gap >= 0
+    assert not resp.exact
+    back = SolveResponse.from_json(json.loads(json.dumps(resp.to_json())))
+    assert back == resp
+
+
 def test_response_roundtrip_from_live_solve():
     resp = LabelingService().submit(
         SolveRequest(gen.cycle_graph(5), L21, engine="held_karp")
@@ -136,6 +185,12 @@ def test_service_result_is_solve_response_alias():
         {"n": 3, "edges": [], "p": [2, 1], "tag": 7},        # bad tag
         {"n": 3, "edges": [], "p": [2, 1], "bogus": 1},      # unknown field
         {"n": 2, "edges": [[0, 5]], "p": [2, 1]},            # vertex off graph
+        {"n": 3, "edges": [], "p": [2, 1], "tier": "fast"},  # unknown tier
+        {"n": 3, "edges": [], "p": [2, 1], "tier": 7},       # non-string tier
+        {"n": 3, "edges": [], "p": [2, 1], "deadline_ms": 0},     # not positive
+        {"n": 3, "edges": [], "p": [2, 1], "deadline_ms": -50},   # negative
+        {"n": 3, "edges": [], "p": [2, 1], "deadline_ms": True},  # bool not int
+        {"n": 3, "edges": [], "p": [2, 1], "deadline_ms": "100"}, # string
     ],
 )
 def test_request_from_json_rejects_malformed(payload):
